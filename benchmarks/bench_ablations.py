@@ -1,0 +1,142 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* ResID assignment: First-Fit competitiveness on random workloads and the
+  §4.4 policing-array sizing examples.
+* QoS under attack: the netsim congestion experiment (property D2).
+* PRF backend: AES-CMAC vs keyed BLAKE2 per-operation cost.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import report
+
+from repro.analysis import render_comparison
+from repro.crypto.prf import PrfFactory
+from repro.hummingbird.resid import FirstFitColoring, Interval, policing_array_bytes
+from repro.netsim.scenarios import congestion_experiment, linear_path
+from repro.perfmodel.measure import time_op
+
+
+def _ablation_resid_report_impl():
+    rng = random.Random(5)
+    rows = []
+    for workload, generator in (
+        ("uniform arrivals", lambda: (rng.uniform(0, 1000), rng.uniform(1, 60))),
+        ("bursty arrivals", lambda: (rng.choice([0, 100, 200]) + rng.uniform(0, 5), rng.uniform(1, 120))),
+        ("long + short mix", lambda: (rng.uniform(0, 1000), rng.choice([5, 600]))),
+    ):
+        coloring = FirstFitColoring()
+        intervals = []
+        for _ in range(2000):
+            start, length = generator()
+            interval = Interval(start, start + length)
+            intervals.append(interval)
+            coloring.assign(interval)
+        events = sorted(
+            [(i.start, 1) for i in intervals] + [(i.end, -1) for i in intervals]
+        )
+        depth = max_depth = 0
+        for _, delta in events:
+            depth += delta
+            max_depth = max(max_depth, depth)
+        competitiveness = coloring.colors_in_use / max_depth
+        rows.append(
+            [workload, max_depth, coloring.colors_in_use, f"{competitiveness:.2f}"]
+        )
+        # §4.4 uses R=3 for sizing; practical workloads should stay below it.
+        assert competitiveness < 3.0
+    sizing = [
+        ["policing array 100 Gbps / 100 kbps", "", "", f"{policing_array_bytes(100_000_000, 100) / 1e6:.0f} MB"],
+        ["policing array 100 Gbps / 4 Mbps", "", "", f"{policing_array_bytes(100_000_000, 4_000) / 1e3:.0f} kB"],
+    ]
+    text = render_comparison(
+        ["workload", "optimal colours", "First-Fit colours", "ratio / size"],
+        rows + sizing,
+        title="Ablation — online First-Fit ResID assignment (§4.4)",
+        note="First-Fit stays well under the R=3 sizing bound on practical "
+        "workloads; array sizes reproduce the paper's 24 MB / 600 kB examples.",
+    )
+    report("ablation_resid", text)
+
+
+def _ablation_qos_report_impl():
+    topology, path = linear_path(4)
+    unprotected = congestion_experiment(topology, path, protected=False, duration=2.0)
+    protected = congestion_experiment(topology, path, protected=True, duration=2.0)
+    rows = [
+        [
+            "best effort",
+            f"{unprotected.victim['goodput_mbps']:.2f}",
+            f"{100 * unprotected.victim['loss_rate']:.1f}%",
+            unprotected.victim["p50_ms"],
+        ],
+        [
+            "flyover reservation",
+            f"{protected.victim['goodput_mbps']:.2f}",
+            f"{100 * protected.victim['loss_rate']:.1f}%",
+            protected.victim["p50_ms"],
+        ],
+    ]
+    text = render_comparison(
+        ["victim flow", "goodput Mbps", "loss", "p50 ms"],
+        rows,
+        title="Ablation — QoS under a 2x-line-rate best-effort flood (D2)",
+        note="2 Mbps victim on a 10 Mbps bottleneck; reservation traffic is "
+        "authenticated, policed, and queued with strict priority.",
+    )
+    report("ablation_qos", text)
+    # Protected flow keeps essentially its full 2 Mbps; unprotected gets at
+    # most its fair share of the flooded bottleneck (~29 % here).
+    assert protected.victim["goodput_mbps"] > 1.9
+    assert protected.victim["goodput_mbps"] > 3 * unprotected.victim["goodput_mbps"]
+
+
+def _ablation_prf_report_impl():
+    block = bytes(16)
+    rows = []
+    timings = {}
+    for backend in ("aes", "blake2"):
+        prf = PrfFactory(backend)(bytes(16))
+        ns = time_op(lambda: prf.compute(block), iterations=3000)
+        timings[backend] = ns
+        rows.append([backend, f"{ns:.0f}"])
+    text = render_comparison(
+        ["PRF backend", "ns per 16-byte block (Python)"],
+        rows,
+        title="Ablation — PRF backend cost (one MAC block)",
+        note="The AES backend matches the paper's construction; BLAKE2 "
+        "accelerates large-scale simulations. Both sit behind the same "
+        "interface and are interchangeable per deployment.",
+    )
+    report("ablation_prf", text)
+    assert timings["blake2"] < timings["aes"]
+
+
+def test_bench_policing_operation(benchmark):
+    from repro.hummingbird.policing import TokenBucketArray
+
+    bucket = TokenBucketArray(capacity=100_000)
+    counter = [0]
+
+    def once():
+        counter[0] += 1
+        bucket.monitor(counter[0] % 100_000, 4000, 600, 1_700_000_000.0)
+
+    benchmark(once)
+
+
+def test_ablation_resid_report(benchmark):
+    """Regenerate the report once (timed as a single benchmark round)."""
+    benchmark.pedantic(_ablation_resid_report_impl, rounds=1, iterations=1)
+
+
+def test_ablation_qos_report(benchmark):
+    """Regenerate the report once (timed as a single benchmark round)."""
+    benchmark.pedantic(_ablation_qos_report_impl, rounds=1, iterations=1)
+
+
+def test_ablation_prf_report(benchmark):
+    """Regenerate the report once (timed as a single benchmark round)."""
+    benchmark.pedantic(_ablation_prf_report_impl, rounds=1, iterations=1)

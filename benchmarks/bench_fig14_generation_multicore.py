@@ -1,0 +1,80 @@
+"""Figure 14: source traffic-generation throughput vs cores (500 B payload)."""
+
+import pytest
+
+from benchmarks.conftest import report
+
+from repro.analysis import line_plot, render_comparison
+from repro.perfmodel.measure import measure_source
+from repro.perfmodel.scaling import FIG14_HOPS, FIG5_CORES, fig14_generation_series
+
+
+def _fig14_report_impl():
+    series = fig14_generation_series()
+    rows = []
+    for hops in FIG14_HOPS:
+        hb = dict(series[("hummingbird", hops)])
+        scion = dict(series[("scion", hops)])
+        for cores in FIG5_CORES:
+            rows.append([hops, cores, f"{hb[cores]:.1f}", f"{scion[cores]:.1f}"])
+    table = render_comparison(
+        ["hops", "cores", "Hummingbird Gbps", "SCION Gbps"],
+        rows,
+        title="Figure 14 — source generation throughput, 500 B payload "
+        "(paper-calibrated model)",
+        note="32 cores deliver the 160 Gbps line rate for h <= 8 "
+        "(paper: 'a mere 32 cores deliver 160 Gbps line rate').",
+    )
+    plot = line_plot(
+        {f"hummingbird h={h}": series[("hummingbird", h)] for h in (1, 4, 16)},
+        title="Fig 14: generation throughput [Gbps] vs cores (500 B)",
+        x_label="cores",
+        y_label="Gbps",
+    )
+    report("fig14_generation_multicore", table + "\n\n" + plot)
+
+    # Shape: line rate at 32 cores for small hop counts; fewer hops = faster.
+    for hops in (1, 2, 4, 8):
+        assert dict(series[("hummingbird", hops)])[32] == pytest.approx(160.0)
+    one_core = {h: dict(series[("hummingbird", h)])[1] for h in FIG14_HOPS}
+    assert one_core[1] > one_core[4] > one_core[16]
+
+
+def _fig14_measured_substrate_report_impl():
+    rows = []
+    for hops in (2, 4, 8):  # a path needs >= 2 ASes (src != dst)
+        measured = measure_source(hops=hops, payload=500, iterations=200)
+        rows.append(
+            [
+                hops,
+                f"{measured.hummingbird_generation_ns:.0f}",
+                f"{measured.scion_generation_ns:.0f}",
+            ]
+        )
+    text = render_comparison(
+        ["hops", "Hummingbird ns/pkt", "SCION ns/pkt"],
+        rows,
+        title="Figure 14 (measured substrate) — our per-packet generation "
+        "costs, 500 B payload",
+        note="cost grows with hop count for Hummingbird (one MAC per "
+        "reserved hop), matching the paper's per-hop scaling.",
+    )
+    report("fig14_generation_measured", text)
+
+
+def test_bench_generation_16_hops(benchmark):
+    from repro.perfmodel.measure import build_fixture
+
+    fixture = build_fixture(hops=16, payload=500)
+    payload = bytes(500)
+    benchmark(lambda: fixture.hb_source.build_packet(payload))
+
+
+def test_fig14_report(benchmark):
+    """Regenerate the report once (timed as a single benchmark round)."""
+    benchmark.pedantic(_fig14_report_impl, rounds=1, iterations=1)
+
+
+def test_fig14_measured_substrate_report(benchmark):
+    """Regenerate the report once (timed as a single benchmark round)."""
+    benchmark.pedantic(_fig14_measured_substrate_report_impl, rounds=1, iterations=1)

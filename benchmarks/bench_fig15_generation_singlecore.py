@@ -1,0 +1,59 @@
+"""Figure 15: single-core source generation throughput vs payload size."""
+
+import pytest
+
+from benchmarks.conftest import report
+
+from repro.analysis import line_plot, render_comparison
+from repro.perfmodel.scaling import (
+    FIG14_HOPS,
+    FIG15_PAYLOADS,
+    fig15_singlecore_series,
+)
+
+
+def _fig15_report_impl():
+    series = fig15_singlecore_series()
+    rows = []
+    for hops in FIG14_HOPS:
+        hb = dict(series[("hummingbird", hops)])
+        scion = dict(series[("scion", hops)])
+        for payload in FIG15_PAYLOADS:
+            rows.append(
+                [hops, payload, f"{hb[payload]:.2f}", f"{scion[payload]:.2f}"]
+            )
+    table = render_comparison(
+        ["hops", "payload B", "Hummingbird Gbps", "SCION Gbps"],
+        rows,
+        title="Figure 15 — single-core generation throughput "
+        "(paper-calibrated model)",
+        note="paper data points at h=4: 1 kB -> 17.90 vs 28.64 Gbps; "
+        "100 B -> 4.65 vs 7.70 Gbps.",
+    )
+    plot = line_plot(
+        {f"hummingbird h={h}": series[("hummingbird", h)] for h in (1, 4, 16)}
+        | {"scion h=4": series[("scion", 4)]},
+        title="Fig 15: single-core throughput [Gbps] vs payload [B]",
+        x_label="payload B",
+        y_label="Gbps",
+    )
+    report("fig15_generation_singlecore", table + "\n\n" + plot)
+
+    # Paper's §B.3 data points (1 kB matches ~1%, 100 B within L1-framing slack).
+    hb4 = dict(series[("hummingbird", 4)])
+    scion4 = dict(series[("scion", 4)])
+    assert hb4[1000] == pytest.approx(17.90, rel=0.10)
+    assert scion4[1000] == pytest.approx(28.64, rel=0.10)
+    # Throughput scales with payload and against hop count.
+    for hops in FIG14_HOPS:
+        curve = dict(series[("hummingbird", hops)])
+        assert curve[1500] > curve[100]
+
+
+def test_bench_fig15_series_generation(benchmark):
+    benchmark(fig15_singlecore_series)
+
+
+def test_fig15_report(benchmark):
+    """Regenerate the report once (timed as a single benchmark round)."""
+    benchmark.pedantic(_fig15_report_impl, rounds=1, iterations=1)

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Bidirectional reservations (Appendix C): client pays for both directions.
+
+A client wants QoS for a video call: traffic must be protected client →
+server *and* server → client.  Reservations are unidirectional, but the
+control plane is identity-free, so the client simply:
+
+1. buys reservations for the forward path (client → server);
+2. buys reservations for the reverse path (server → client) — billed to
+   the client, usable by the server;
+3. hands the reverse reservations to the server in a sealed bundle;
+4. both sides send prioritized traffic.
+
+Run:  python examples/bidirectional_reservation.py
+"""
+
+import random
+
+from repro.clock import SimClock
+from repro.controlplane import deploy_market, purchase_path
+from repro.crypto.sealing import KeyPair
+from repro.hummingbird import HummingbirdRouter, HummingbirdSource, ReservationHandoff
+from repro.scion import (
+    HostAddr,
+    PathLookup,
+    ScionAddr,
+    as_crossings,
+    linear_topology,
+    run_beaconing,
+)
+from repro.scion.router import Action
+
+
+def walk(topology, routers, packet, start_as):
+    current, ingress = start_as, 0
+    actions = []
+    while True:
+        decision = routers[current].process(packet, ingress)
+        actions.append(decision.action)
+        if decision.action in (Action.DELIVER, Action.DROP):
+            return actions
+        interface = topology.as_of(current).interfaces[decision.egress_ifid]
+        current, ingress = interface.neighbor, interface.neighbor_ifid
+
+
+def main() -> None:
+    clock = SimClock(1_700_000_000.0)
+    topology = linear_topology(4)
+    deployment = deploy_market(topology, clock=clock)
+    store = run_beaconing(topology, timestamp=int(clock.now()))
+    lookup = PathLookup(store)
+
+    client_as = topology.ases[-1].isd_as
+    server_as = topology.ases[0].isd_as
+    forward_path = lookup.find_paths(client_as, server_as)[0]
+    reverse_path = lookup.find_paths(server_as, client_as)[0]
+
+    client = deployment.new_host(funding_sui=100, name="client")
+    start = int(clock.now()) + 60
+    forward = purchase_path(
+        deployment, client, as_crossings(forward_path), start, start + 600, 4_000
+    )
+    backward = purchase_path(
+        deployment, client, as_crossings(reverse_path), start, start + 600, 4_000
+    )
+    print(
+        f"client bought {len(forward.reservations)} forward + "
+        f"{len(backward.reservations)} reverse reservations "
+        f"(both billed to the client)"
+    )
+
+    # Hand the reverse reservations to the server, sealed to its keypair.
+    rng = random.Random(99)
+    server_keys = KeyPair.generate(rng)
+    handoff = ReservationHandoff.create(backward.reservations, server_keys.public, rng)
+    server_reservations = handoff.open(server_keys)
+    print(f"server decrypted {len(server_reservations)} reverse reservations")
+
+    # Both directions now flow with priority.
+    clock.set(start + 1)
+    routers = {a.isd_as: HummingbirdRouter(a, clock) for a in topology.ases}
+    client_addr = ScionAddr(client_as, HostAddr.from_string("10.0.0.1"))
+    server_addr = ScionAddr(server_as, HostAddr.from_string("10.0.0.2"))
+
+    up = HummingbirdSource(client_addr, server_addr, forward_path,
+                           forward.reservations, clock)
+    down = HummingbirdSource(server_addr, client_addr, reverse_path,
+                             server_reservations, clock)
+
+    up_actions = walk(topology, routers, up.build_packet(b"request " * 50), client_as)
+    down_actions = walk(topology, routers, down.build_packet(b"reply " * 100), server_as)
+    print(
+        f"client->server: {[a.value for a in up_actions]}\n"
+        f"server->client: {[a.value for a in down_actions]}"
+    )
+    assert all(a in (Action.FORWARD_PRIORITY, Action.DELIVER) for a in up_actions)
+    assert all(a in (Action.FORWARD_PRIORITY, Action.DELIVER) for a in down_actions)
+    print("bidirectional QoS established; both directions prioritized")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so ``pip install -e .``
+cannot run its PEP 660 editable build.  ``python setup.py develop`` (or the
+``.pth`` fallback in site-packages) provides the same editable install.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""Hummingbird: fast, flexible, and fair inter-domain bandwidth reservations.
+
+A from-scratch Python reproduction of the SIGCOMM 2025 paper, comprising:
+
+* :mod:`repro.hummingbird` — the flyover-reservation data plane (the
+  paper's primary contribution);
+* :mod:`repro.scion` — the SCION substrate (addressing, beaconing, path
+  construction, baseline border router);
+* :mod:`repro.ledger` / :mod:`repro.contracts` /
+  :mod:`repro.controlplane` — the asset-based smart-contract control plane
+  on a Sui-like object ledger;
+* :mod:`repro.crypto` / :mod:`repro.wire` — cryptographic and wire-format
+  substrates, all implemented from scratch;
+* :mod:`repro.netsim` — a discrete-event network simulator for the QoS
+  experiments;
+* :mod:`repro.perfmodel` / :mod:`repro.analysis` — throughput models and
+  report rendering that regenerate every table and figure of the paper's
+  evaluation.
+
+Quickstart: see ``examples/quickstart.py`` for the complete walkthrough
+from market deployment to priority forwarding.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,14 @@
+"""Analysis helpers: statistics, tables, terminal plots."""
+
+from repro.analysis.ascii_plot import line_plot
+from repro.analysis.stats import BoxStats, fraction_below, percentile
+from repro.analysis.tables import render_comparison, render_table
+
+__all__ = [
+    "line_plot",
+    "BoxStats",
+    "fraction_below",
+    "percentile",
+    "render_comparison",
+    "render_table",
+]

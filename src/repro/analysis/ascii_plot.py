@@ -1,0 +1,52 @@
+"""Terminal line plots for the figure benchmarks (no matplotlib offline)."""
+
+from __future__ import annotations
+
+
+def line_plot(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render multiple (x, y) series on one character grid.
+
+    Each series gets a marker letter; the legend maps letters to series
+    names.  Log-ish axes are the caller's business (pass transformed xs).
+    """
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        return "(empty plot)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_max += 1
+    if y_max == y_min:
+        y_max += 1
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "abcdefghijklmnopqrstuvwxyz"
+    legend = []
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        legend.append(f"  {marker} = {name}")
+        for x, y in values:
+            col = int((x - x_min) / (x_max - x_min) * (width - 1))
+            row = height - 1 - int((y - y_min) / (y_max - y_min) * (height - 1))
+            current = grid[row][col]
+            grid[row][col] = "*" if current not in (" ", marker) else marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (max {y_max:.1f})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_min:g} .. {x_max:g}   ('*' = overlap)")
+    lines.extend(legend)
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Statistics helpers: percentiles and boxplot summaries (Fig. 4 style)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Linear-interpolated percentile, ``q`` in [0, 100]."""
+    if not values:
+        raise ValueError("no values")
+    if not 0 <= q <= 100:
+        raise ValueError("percentile must be within [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q / 100 * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary with 5th/95th whiskers, as Fig. 4 plots."""
+
+    p5: float
+    q1: float
+    median: float
+    q3: float
+    p95: float
+    mean: float
+    count: int
+
+    @staticmethod
+    def of(values: list[float]) -> "BoxStats":
+        if not values:
+            raise ValueError("no values")
+        return BoxStats(
+            p5=percentile(values, 5),
+            q1=percentile(values, 25),
+            median=percentile(values, 50),
+            q3=percentile(values, 75),
+            p95=percentile(values, 95),
+            mean=sum(values) / len(values),
+            count=len(values),
+        )
+
+    def row(self, label: str) -> list:
+        return [
+            label,
+            f"{self.p5:.2f}",
+            f"{self.q1:.2f}",
+            f"{self.median:.2f}",
+            f"{self.q3:.2f}",
+            f"{self.p95:.2f}",
+            f"{self.mean:.2f}",
+        ]
+
+
+def fraction_below(values: list[float], threshold: float) -> float:
+    """Share of values strictly below ``threshold`` (the paper's "83 % < 3 s")."""
+    if not values:
+        raise ValueError("no values")
+    return sum(1 for value in values if value < threshold) / len(values)

@@ -1,0 +1,36 @@
+"""Smart contracts: coin, bandwidth asset, marketplace, and the runtime."""
+
+from repro.contracts.asset import (
+    ASSET_TYPE,
+    DELIVERY_TYPE,
+    REQUEST_TYPE,
+    TOKEN_TYPE,
+    AssetContract,
+    asset_units,
+)
+from repro.contracts.coin import CoinContract, coin_balance
+from repro.contracts.framework import CallContext, Contract, ContractAbort
+from repro.contracts.market import (
+    LISTING_TYPE,
+    MARKETPLACE_TYPE,
+    SELLER_CAP_TYPE,
+    MarketContract,
+)
+
+__all__ = [
+    "ASSET_TYPE",
+    "DELIVERY_TYPE",
+    "REQUEST_TYPE",
+    "TOKEN_TYPE",
+    "AssetContract",
+    "asset_units",
+    "CoinContract",
+    "coin_balance",
+    "CallContext",
+    "Contract",
+    "ContractAbort",
+    "LISTING_TYPE",
+    "MARKETPLACE_TYPE",
+    "SELLER_CAP_TYPE",
+    "MarketContract",
+]

@@ -1,0 +1,14 @@
+"""Contract runtime re-export.
+
+The execution machinery lives in :mod:`repro.ledger.runtime` (it is part of
+the ledger); contract modules import it from here for locality.
+"""
+
+from repro.ledger.runtime import (
+    CallContext,
+    Contract,
+    ContractAbort,
+    ExecutionView,
+)
+
+__all__ = ["CallContext", "Contract", "ContractAbort", "ExecutionView"]

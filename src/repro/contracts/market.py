@@ -1,0 +1,215 @@
+"""The marketplace contract: decentralized trading of bandwidth assets.
+
+The marketplace is a *shared* object (anyone may interact with it, which is
+why purchases go through consensus, §6.1).  ASes list assets at a posted
+price; buyers purchase any sub-rectangle (time × bandwidth) of a listing,
+and the contract splits the asset accordingly — the remainders stay listed.
+
+Prices are linear in reserved volume: ``price_micromist_per_unit`` is the
+posted price per kbps-second, so a purchase costs::
+
+    ceil(units(bw, duration) * price / 1e6)  MIST
+
+Payment flows buyer-coin -> seller-coin inside the same transaction, so an
+atomic multi-hop purchase either pays every AS or nobody (C1/atomicity).
+"""
+
+from __future__ import annotations
+
+from repro.contracts.asset import (
+    ASSET_TYPE,
+    asset_units,
+    split_bandwidth_inner,
+    split_time_inner,
+)
+from repro.contracts.framework import CallContext, Contract
+from repro.ledger.accounts import COIN_TYPE
+from repro.ledger.objects import Ownership
+
+MARKETPLACE_TYPE = "market::Marketplace"
+LISTING_TYPE = "market::Listing"
+SELLER_CAP_TYPE = "market::SellerCap"
+
+MICROMIST = 1_000_000
+
+
+class MarketContract(Contract):
+    name = "market"
+
+    # -- setup ----------------------------------------------------------------
+
+    def create_marketplace(self, ctx: CallContext) -> dict:
+        marketplace = ctx.create_object(
+            MARKETPLACE_TYPE,
+            {"creator": ctx.sender, "sellers": {}, "listing_count": 0},
+            ownership=Ownership.SHARED,
+        )
+        return {"marketplace": marketplace.object_id}
+
+    def register_seller(self, ctx: CallContext, marketplace: str) -> dict:
+        """Register the sender as a seller; returns a capability object."""
+        market = ctx.take_shared(marketplace, MARKETPLACE_TYPE)
+        ctx.require(
+            ctx.sender not in market.payload["sellers"], "seller already registered"
+        )
+        market.payload["sellers"][ctx.sender] = True
+        ctx.mutate(market)
+        cap = ctx.create_object(SELLER_CAP_TYPE, {"marketplace": marketplace})
+        return {"cap": cap.object_id}
+
+    # -- listing ----------------------------------------------------------------
+
+    def create_listing(
+        self,
+        ctx: CallContext,
+        marketplace: str,
+        asset: str,
+        price_micromist_per_unit: int,
+    ) -> dict:
+        """List an asset for sale; the marketplace takes custody of it."""
+        market = ctx.take_shared(marketplace, MARKETPLACE_TYPE)
+        ctx.require(ctx.sender in market.payload["sellers"], "seller not registered")
+        ctx.require(price_micromist_per_unit > 0, "price must be positive")
+        asset_object = ctx.take_owned(asset, ASSET_TYPE)
+        ctx.transfer(asset_object, marketplace)
+        listing = ctx.create_object(
+            LISTING_TYPE,
+            {
+                "marketplace": marketplace,
+                "asset": asset,
+                "seller": ctx.sender,
+                "price_micromist_per_unit": int(price_micromist_per_unit),
+            },
+            owner=marketplace,
+        )
+        market.payload["listing_count"] += 1
+        ctx.mutate(market)
+        ctx.emit(
+            "Listed",
+            {
+                "listing": listing.object_id,
+                "asset": asset,
+                "isd": asset_object.payload["isd"],
+                "asn": asset_object.payload["asn"],
+            },
+        )
+        return {"listing": listing.object_id}
+
+    def cancel_listing(self, ctx: CallContext, marketplace: str, listing: str) -> dict:
+        """Seller takes an unsold asset back off the market."""
+        market = ctx.take_shared(marketplace, MARKETPLACE_TYPE)
+        listing_object = ctx.take_owned(listing, LISTING_TYPE, owner=marketplace)
+        ctx.require(listing_object.payload["seller"] == ctx.sender, "not the seller")
+        asset_object = ctx.take_owned(
+            listing_object.payload["asset"], ASSET_TYPE, owner=marketplace
+        )
+        ctx.transfer(asset_object, ctx.sender)
+        ctx.delete_object(listing_object)
+        market.payload["listing_count"] -= 1
+        ctx.mutate(market)
+        return {"asset": asset_object.object_id}
+
+    # -- buying -------------------------------------------------------------------
+
+    def buy(
+        self,
+        ctx: CallContext,
+        marketplace: str,
+        listing: str,
+        start: int,
+        expiry: int,
+        bandwidth_kbps: int,
+        payment: str,
+    ) -> dict:
+        """Buy a (time × bandwidth) sub-rectangle of a listed asset.
+
+        Splits the listed asset as needed (worst case: two time splits plus
+        one bandwidth split); remainders are re-listed at the same unit
+        price.  The bought piece transfers to the buyer, the payment to the
+        seller.
+        """
+        market = ctx.take_shared(marketplace, MARKETPLACE_TYPE)
+        listing_object = ctx.take_owned(listing, LISTING_TYPE, owner=marketplace)
+        asset_object = ctx.take_owned(
+            listing_object.payload["asset"], ASSET_TYPE, owner=marketplace
+        )
+        payload = asset_object.payload
+        ctx.require(
+            payload["start"] <= start < expiry <= payload["expiry"],
+            "requested interval outside the listed asset",
+        )
+        ctx.require(
+            0 < bandwidth_kbps <= payload["bandwidth_kbps"],
+            "requested bandwidth exceeds the listed asset",
+        )
+
+        # `target` is the piece being carved towards the purchase.  The
+        # original asset stays bound to the original listing as long as it
+        # keeps a remainder; every other remainder gets a fresh listing.
+        target = asset_object
+        if start > payload["start"]:
+            # Head remainder [asset.start, start) stays with the original
+            # asset (and its listing); the returned piece continues.
+            target = split_time_inner(ctx, target, start, new_owner=marketplace)
+        if expiry < target.payload["expiry"]:
+            # split keeps [*, expiry) in `target`, returns the tail.
+            tail = split_time_inner(ctx, target, expiry, new_owner=marketplace)
+            self._relist(ctx, market, listing_object, tail)
+        if bandwidth_kbps < target.payload["bandwidth_kbps"]:
+            bought = split_bandwidth_inner(
+                ctx, target, bandwidth_kbps, new_owner=marketplace
+            )
+            # `target` keeps the bandwidth remainder.
+            if target.object_id != asset_object.object_id:
+                self._relist(ctx, market, listing_object, target)
+        else:
+            bought = target
+
+        if bought.object_id == asset_object.object_id:
+            # The purchase consumed the original asset: the listing dies.
+            ctx.delete_object(listing_object)
+            market.payload["listing_count"] -= 1
+
+        # Pricing and payment (ceil division).
+        unit_price = listing_object.payload["price_micromist_per_unit"]
+        price_mist = -(-asset_units(bought.payload) * unit_price // MICROMIST)
+        coin = ctx.take_owned(payment, COIN_TYPE)
+        ctx.require(coin.payload["balance"] >= price_mist, "insufficient payment")
+        coin.payload["balance"] -= price_mist
+        ctx.mutate(coin)
+        ctx.create_object(
+            COIN_TYPE,
+            {"balance": int(price_mist)},
+            owner=listing_object.payload["seller"],
+        )
+
+        ctx.transfer(bought, ctx.sender)
+        ctx.mutate(market)
+        ctx.emit(
+            "Sold",
+            {
+                "listing": listing,
+                "asset": bought.object_id,
+                "price_mist": int(price_mist),
+                "buyer": ctx.sender,
+            },
+        )
+        return {"asset": bought.object_id, "price_mist": int(price_mist)}
+
+    # -- internals ------------------------------------------------------------------
+
+    def _relist(self, ctx: CallContext, market, original_listing, asset_object) -> None:
+        """Keep a remainder asset on the market under a fresh listing."""
+        ctx.create_object(
+            LISTING_TYPE,
+            {
+                "marketplace": original_listing.payload["marketplace"],
+                "asset": asset_object.object_id,
+                "seller": original_listing.payload["seller"],
+                "price_micromist_per_unit": original_listing.payload[
+                    "price_micromist_per_unit"
+                ],
+            },
+            owner=original_listing.payload["marketplace"],
+        )
+        market.payload["listing_count"] += 1

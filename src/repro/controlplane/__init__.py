@@ -1,0 +1,35 @@
+"""Control plane: CP-PKI, AS services, host clients, end-to-end workflows."""
+
+from repro.controlplane.asclient import AsService, DeliveryRecord
+from repro.controlplane.hostclient import (
+    HopRequirement,
+    HostClient,
+    ListingNotFound,
+    PurchasePlan,
+)
+from repro.controlplane.manager import ReservationLease, ReservationManager
+from repro.controlplane.pki import CpPki
+from repro.controlplane.workflow import (
+    LatencyBreakdown,
+    MarketDeployment,
+    PurchaseOutcome,
+    deploy_market,
+    purchase_path,
+)
+
+__all__ = [
+    "AsService",
+    "DeliveryRecord",
+    "HopRequirement",
+    "HostClient",
+    "ListingNotFound",
+    "PurchasePlan",
+    "ReservationLease",
+    "ReservationManager",
+    "CpPki",
+    "LatencyBreakdown",
+    "MarketDeployment",
+    "PurchaseOutcome",
+    "deploy_market",
+    "purchase_path",
+]

@@ -1,0 +1,257 @@
+"""AS-side control-plane service ("Hummingbird Service", §3.2 AS stack).
+
+Responsibilities:
+
+* register the AS with the asset contract (CP-PKI certificate + proof of
+  possession);
+* issue bandwidth assets for the AS's interfaces and list them on a
+  marketplace;
+* watch the event stream for redeem requests addressed to this AS;
+* for each request: assign a ResID (online First-Fit interval colouring
+  per ingress interface), derive the reservation key :math:`A_K` from the
+  AS-local secret value, seal ``(ResInfo, A_K)`` under the redeemer's
+  ephemeral public key, and deliver it through the asset contract (a
+  fast-path transaction — only owned objects are touched).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+
+from repro.contracts.asset import DELIVERY_TYPE, REQUEST_TYPE
+from repro.crypto.prf import DEFAULT_PRF_FACTORY, PrfFactory
+from repro.crypto.sealing import seal
+from repro.hummingbird.reservation import ResInfo, grant_reservation
+from repro.hummingbird.resid import CapacityExhausted, ResIdAllocator
+from repro.ledger.accounts import Account
+from repro.ledger.executor import LedgerExecutor, SubmittedTransaction
+from repro.ledger.transactions import Command, Result, Transaction
+from repro.scion.topology import AutonomousSystem
+from repro.wire import bwcls
+
+DEFAULT_GRANULARITY = 60  # seconds: minimum reservation duration an AS supports
+DEFAULT_MIN_BANDWIDTH = 100  # kbps: VoIP-sized minimum reservation (§4.4)
+DEFAULT_RESID_CAPACITY = 100_000
+
+
+@dataclass
+class DeliveryRecord:
+    """Bookkeeping for one handled redeem request."""
+
+    request_id: str
+    delivery_id: str
+    res_id: int
+    submitted: SubmittedTransaction
+
+
+class AsService:
+    """The per-AS control-plane daemon."""
+
+    def __init__(
+        self,
+        autonomous_system: AutonomousSystem,
+        account: Account,
+        executor: LedgerExecutor,
+        pki,
+        rng: random.Random | None = None,
+        prf_factory: PrfFactory = DEFAULT_PRF_FACTORY,
+        resid_capacity: int = DEFAULT_RESID_CAPACITY,
+    ) -> None:
+        self.autonomous_system = autonomous_system
+        self.account = account
+        self.executor = executor
+        self.pki = pki
+        self.rng = rng if rng is not None else random.Random(autonomous_system.isd_as.asn)
+        self.prf_factory = prf_factory
+        self.token_id: str | None = None
+        self.seller_cap: str | None = None
+        self._allocators: dict[int, ResIdAllocator] = {}
+        self._resid_capacity = resid_capacity
+        self._last_checkpoint = 0
+
+    @property
+    def isd_as(self):
+        return self.autonomous_system.isd_as
+
+    # -- registration -----------------------------------------------------------
+
+    def register(self) -> SubmittedTransaction:
+        """Obtain the authorization token (Fig. 2 prerequisite)."""
+        certificate = self.pki.issue_certificate(self.isd_as, self.account.signing_key.public)
+        proof = self.account.signing_key.sign(self.account.address.encode(), self.rng)
+        submitted = self.executor.submit(
+            Transaction(
+                sender=self.account.address,
+                commands=[
+                    Command(
+                        "asset",
+                        "register_as",
+                        {
+                            "certificate": certificate,
+                            "commitment": proof.commitment,
+                            "response": proof.response,
+                        },
+                    )
+                ],
+            )
+        )
+        if submitted.effects.ok:
+            self.token_id = submitted.effects.returns[0]["token"]
+        return submitted
+
+    def register_as_seller(self, marketplace: str) -> SubmittedTransaction:
+        submitted = self.executor.submit(
+            Transaction(
+                sender=self.account.address,
+                commands=[
+                    Command("market", "register_seller", {"marketplace": marketplace})
+                ],
+            )
+        )
+        if submitted.effects.ok:
+            self.seller_cap = submitted.effects.returns[0]["cap"]
+        return submitted
+
+    # -- issuance ---------------------------------------------------------------
+
+    def issue_and_list(
+        self,
+        marketplace: str,
+        interface: int,
+        is_ingress: bool,
+        bandwidth_kbps: int,
+        start: int,
+        expiry: int,
+        price_micromist_per_unit: int,
+        granularity: int = DEFAULT_GRANULARITY,
+        min_bandwidth_kbps: int = DEFAULT_MIN_BANDWIDTH,
+    ) -> SubmittedTransaction:
+        """Issue one large asset and put it on the market (Fig. 2, steps 2-3)."""
+        if self.token_id is None:
+            raise RuntimeError("AS must register before issuing assets")
+        return self.executor.submit(
+            Transaction(
+                sender=self.account.address,
+                commands=[
+                    Command(
+                        "asset",
+                        "issue",
+                        {
+                            "token": self.token_id,
+                            "bandwidth_kbps": bandwidth_kbps,
+                            "start": start,
+                            "expiry": expiry,
+                            "interface": interface,
+                            "is_ingress": is_ingress,
+                            "granularity": granularity,
+                            "min_bandwidth_kbps": min_bandwidth_kbps,
+                        },
+                    ),
+                    Command(
+                        "market",
+                        "create_listing",
+                        {
+                            "marketplace": marketplace,
+                            "asset": Result(0, "asset"),
+                            "price_micromist_per_unit": price_micromist_per_unit,
+                        },
+                    ),
+                ],
+            )
+        )
+
+    # -- redemption handling -------------------------------------------------------
+
+    def poll_and_deliver(self) -> list[DeliveryRecord]:
+        """Handle all pending redeem requests addressed to this AS (steps 6-8)."""
+        ledger = self.executor.ledger
+        events = ledger.events_since(self._last_checkpoint, "RedeemRequested")
+        self._last_checkpoint = ledger.checkpoint
+        records: list[DeliveryRecord] = []
+        for event in events:
+            if (event.payload["isd"], event.payload["asn"]) != (
+                self.isd_as.isd,
+                self.isd_as.asn,
+            ):
+                continue
+            request_id = event.payload["request"]
+            if request_id not in ledger.objects:
+                continue  # already delivered
+            records.append(self._deliver(ledger.get_object(request_id)))
+        return records
+
+    def _deliver(self, request) -> DeliveryRecord:
+        payload = request.payload
+        ingress_if = payload["ingress"]["interface"]
+        egress_if = payload["egress"]["interface"]
+        start = payload["ingress"]["start"]
+        expiry = payload["ingress"]["expiry"]
+        bw_cls = bwcls.encode_floor(payload["ingress"]["bandwidth_kbps"])
+        res_id = self._allocator(ingress_if).allocate(start, expiry)
+        resinfo = ResInfo(
+            ingress=ingress_if,
+            egress=egress_if,
+            res_id=res_id,
+            bw_cls=bw_cls,
+            start=start,
+            duration=expiry - start,
+        )
+        reservation = grant_reservation(
+            self.isd_as,
+            self.autonomous_system.secret_value,
+            resinfo,
+            self.prf_factory,
+        )
+        plaintext = json.dumps(
+            {
+                "isd": self.isd_as.isd,
+                "asn": self.isd_as.asn,
+                "ingress": resinfo.ingress,
+                "egress": resinfo.egress,
+                "res_id": resinfo.res_id,
+                "bw_cls": resinfo.bw_cls,
+                "start": resinfo.start,
+                "duration": resinfo.duration,
+                "auth_key": reservation.auth_key.hex(),
+            }
+        ).encode()
+        recipient_public = int.from_bytes(payload["public_key"], "big")
+        box = seal(recipient_public, plaintext, self.rng)
+        submitted = self.executor.submit(
+            Transaction(
+                sender=self.account.address,
+                commands=[
+                    Command(
+                        "asset",
+                        "deliver_reservation",
+                        {
+                            "request": request.object_id,
+                            "kem_share": box.kem_share.to_bytes(256, "big"),
+                            "ciphertext": box.ciphertext,
+                            "tag": box.tag,
+                        },
+                    )
+                ],
+            )
+        )
+        if not submitted.effects.ok:
+            raise RuntimeError(f"delivery failed: {submitted.effects.error}")
+        return DeliveryRecord(
+            request_id=request.object_id,
+            delivery_id=submitted.effects.returns[0]["delivery"],
+            res_id=res_id,
+            submitted=submitted,
+        )
+
+    def _allocator(self, ingress_if: int) -> ResIdAllocator:
+        allocator = self._allocators.get(ingress_if)
+        if allocator is None:
+            allocator = ResIdAllocator(self._resid_capacity)
+            self._allocators[ingress_if] = allocator
+        return allocator
+
+    def pending_requests(self) -> list:
+        """Redeem requests currently owned by this AS (test helper)."""
+        return self.executor.ledger.objects_owned_by(self.account.address, REQUEST_TYPE)

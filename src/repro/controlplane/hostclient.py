@@ -1,0 +1,346 @@
+"""Host-side control-plane client (§3.2 client stack).
+
+The host discovers listings (an off-chain indexer scan over the object
+store), assembles an **atomic buy-and-redeem** transaction covering every
+hop it wants to reserve — buy ingress asset, buy egress asset, redeem the
+pair, for each AS crossing — and later decrypts the sealed reservations the
+ASes deliver.
+
+Atomicity is the ledger's: if any hop cannot be bought (sold out, price
+moved, insufficient funds), the whole transaction aborts and no money moves
+(§4.2 "Atomic End-to-End Guarantees").
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+
+from repro.contracts.asset import DELIVERY_TYPE, ASSET_TYPE
+from repro.contracts.market import LISTING_TYPE, MICROMIST
+from repro.crypto.sealing import KeyPair, SealedBox, unseal
+from repro.hummingbird.reservation import FlyoverReservation, ResInfo
+from repro.ledger.accounts import Account
+from repro.ledger.executor import LedgerExecutor, SubmittedTransaction
+from repro.ledger.transactions import Command, Result, Transaction
+from repro.scion.addresses import IsdAs
+from repro.scion.paths import AsCrossing
+
+
+@dataclass(frozen=True)
+class HopRequirement:
+    """What the host wants to reserve at one AS crossing."""
+
+    isd_as: IsdAs
+    ingress: int
+    egress: int
+    start: int
+    expiry: int
+    bandwidth_kbps: int
+
+    @staticmethod
+    def from_crossing(
+        crossing: AsCrossing, start: int, expiry: int, bandwidth_kbps: int
+    ) -> "HopRequirement":
+        return HopRequirement(
+            isd_as=crossing.isd_as,
+            ingress=crossing.ingress,
+            egress=crossing.egress,
+            start=start,
+            expiry=expiry,
+            bandwidth_kbps=bandwidth_kbps,
+        )
+
+
+@dataclass(frozen=True)
+class ResolvedHop:
+    """Listings and the granularity-aligned window actually bought for a hop.
+
+    The bought window is the smallest granule-aligned rectangle covering the
+    requested one, so it may start earlier / end later than requested.  The
+    ingress and egress windows must be identical or the redeem would abort.
+    """
+
+    ingress_listing: str
+    egress_listing: str
+    buy_start: int
+    buy_expiry: int
+    price_mist: int
+
+
+@dataclass
+class PurchasePlan:
+    """Resolved listings + price estimate for a set of hop requirements."""
+
+    requirements: list[HopRequirement]
+    hops: list[ResolvedHop]
+
+    @property
+    def estimated_price_mist(self) -> int:
+        return sum(hop.price_mist for hop in self.hops)
+
+
+class ListingNotFound(LookupError):
+    """No listing covers the requested interface/time/bandwidth rectangle."""
+
+
+class HostClient:
+    """A Hummingbird end host's control-plane agent."""
+
+    def __init__(
+        self,
+        account: Account,
+        executor: LedgerExecutor,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.account = account
+        self.executor = executor
+        self.rng = rng if rng is not None else random.Random(0xC0FFEE)
+        self.payment_coin: str | None = None
+        self._ephemeral_keys: list[KeyPair] = []
+        self._delivery_checkpoint = 0
+
+    # -- funding ---------------------------------------------------------------
+
+    def fund(self, amount_mist: int) -> str:
+        """Mint a payment coin (stands in for acquiring SUI out of band)."""
+        submitted = self.executor.submit(
+            Transaction(
+                sender=self.account.address,
+                commands=[Command("coin", "mint", {"amount": amount_mist})],
+            )
+        )
+        if not submitted.effects.ok:
+            raise RuntimeError(f"funding failed: {submitted.effects.error}")
+        self.payment_coin = submitted.effects.returns[0]["coin"]
+        return self.payment_coin
+
+    # -- discovery ---------------------------------------------------------------
+
+    def find_listing(
+        self,
+        marketplace: str,
+        isd_as: IsdAs,
+        interface: int,
+        is_ingress: bool,
+        start: int,
+        expiry: int,
+        bandwidth_kbps: int,
+        exact_window: bool = False,
+    ) -> tuple[str, int, int, int]:
+        """Locate the cheapest listing covering the requested rectangle.
+
+        The purchase window is aligned *outward* to the asset's time
+        granularity (you buy whole granules); with ``exact_window`` the
+        aligned window must equal the requested one (used to match the
+        egress asset to the already-resolved ingress window).
+
+        Returns (listing id, price in MIST, aligned start, aligned expiry).
+        This is an off-chain indexer query; the authoritative checks happen
+        inside ``buy``.
+        """
+        ledger = self.executor.ledger
+        best: tuple[str, int, int, int] | None = None
+        for obj in ledger.objects.values():
+            if obj.type_tag != LISTING_TYPE:
+                continue
+            if obj.payload["marketplace"] != marketplace:
+                continue
+            asset = ledger.objects.get(obj.payload["asset"])
+            if asset is None:
+                continue
+            payload = asset.payload
+            if (payload["isd"], payload["asn"]) != (isd_as.isd, isd_as.asn):
+                continue
+            if payload["interface"] != interface or payload["is_ingress"] != is_ingress:
+                continue
+            aligned = _align_window(payload, start, expiry)
+            if aligned is None:
+                continue
+            buy_start, buy_expiry = aligned
+            if exact_window and (buy_start, buy_expiry) != (start, expiry):
+                continue
+            if payload["bandwidth_kbps"] < bandwidth_kbps:
+                continue
+            remainder = payload["bandwidth_kbps"] - bandwidth_kbps
+            if bandwidth_kbps < payload["min_bandwidth_kbps"]:
+                continue
+            if 0 < remainder < payload["min_bandwidth_kbps"]:
+                continue
+            unit_price = obj.payload["price_micromist_per_unit"]
+            price = -(
+                -bandwidth_kbps * (buy_expiry - buy_start) * unit_price // MICROMIST
+            )
+            if best is None or price < best[1]:
+                best = (obj.object_id, price, buy_start, buy_expiry)
+        if best is None:
+            raise ListingNotFound(
+                f"no listing at {isd_as} if={interface} "
+                f"{'ingress' if is_ingress else 'egress'} covers "
+                f"[{start},{expiry})x{bandwidth_kbps}kbps"
+                + (" (exact window)" if exact_window else "")
+            )
+        return best
+
+    def plan_purchase(
+        self, marketplace: str, requirements: list[HopRequirement]
+    ) -> PurchasePlan:
+        """Resolve listings for every hop and estimate the total price."""
+        hops: list[ResolvedHop] = []
+        for requirement in requirements:
+            ingress_listing, price_in, buy_start, buy_expiry = self.find_listing(
+                marketplace,
+                requirement.isd_as,
+                requirement.ingress,
+                True,
+                requirement.start,
+                requirement.expiry,
+                requirement.bandwidth_kbps,
+            )
+            # The egress asset must match the ingress window exactly or the
+            # redeem would abort on incompatible assets.
+            egress_listing, price_eg, _, _ = self.find_listing(
+                marketplace,
+                requirement.isd_as,
+                requirement.egress,
+                False,
+                buy_start,
+                buy_expiry,
+                requirement.bandwidth_kbps,
+                exact_window=True,
+            )
+            hops.append(
+                ResolvedHop(
+                    ingress_listing=ingress_listing,
+                    egress_listing=egress_listing,
+                    buy_start=buy_start,
+                    buy_expiry=buy_expiry,
+                    price_mist=price_in + price_eg,
+                )
+            )
+        return PurchasePlan(requirements=requirements, hops=hops)
+
+    # -- atomic purchase ------------------------------------------------------------
+
+    def atomic_buy_and_redeem(
+        self, marketplace: str, plan: PurchasePlan
+    ) -> SubmittedTransaction:
+        """One transaction: buy ingress+egress and redeem, for every hop."""
+        if self.payment_coin is None:
+            raise RuntimeError("fund() the client before buying")
+        ephemeral = KeyPair.generate(self.rng)
+        self._ephemeral_keys.append(ephemeral)
+        commands: list[Command] = []
+        for requirement, hop in zip(plan.requirements, plan.hops):
+            base = len(commands)
+            commands.append(
+                Command(
+                    "market",
+                    "buy",
+                    {
+                        "marketplace": marketplace,
+                        "listing": hop.ingress_listing,
+                        "start": hop.buy_start,
+                        "expiry": hop.buy_expiry,
+                        "bandwidth_kbps": requirement.bandwidth_kbps,
+                        "payment": self.payment_coin,
+                    },
+                )
+            )
+            commands.append(
+                Command(
+                    "market",
+                    "buy",
+                    {
+                        "marketplace": marketplace,
+                        "listing": hop.egress_listing,
+                        "start": hop.buy_start,
+                        "expiry": hop.buy_expiry,
+                        "bandwidth_kbps": requirement.bandwidth_kbps,
+                        "payment": self.payment_coin,
+                    },
+                )
+            )
+            commands.append(
+                Command(
+                    "asset",
+                    "redeem",
+                    {
+                        "ingress": Result(base, "asset"),
+                        "egress": Result(base + 1, "asset"),
+                        "public_key": ephemeral.public.to_bytes(256, "big"),
+                    },
+                )
+            )
+        return self.executor.submit(
+            Transaction(sender=self.account.address, commands=commands)
+        )
+
+    # -- delivery ------------------------------------------------------------------
+
+    def collect_reservations(self) -> list[FlyoverReservation]:
+        """Decrypt all sealed reservations delivered since the last call."""
+        ledger = self.executor.ledger
+        events = ledger.events_since(self._delivery_checkpoint, "ReservationDelivered")
+        self._delivery_checkpoint = ledger.checkpoint
+        reservations: list[FlyoverReservation] = []
+        for event in events:
+            if event.payload["redeemer"] != self.account.address:
+                continue
+            delivery = ledger.objects.get(event.payload["delivery"])
+            if delivery is None or delivery.type_tag != DELIVERY_TYPE:
+                continue
+            reservations.append(self._decrypt(delivery))
+        return reservations
+
+    def _decrypt(self, delivery) -> FlyoverReservation:
+        box = SealedBox(
+            kem_share=int.from_bytes(delivery.payload["kem_share"], "big"),
+            ciphertext=delivery.payload["ciphertext"],
+            tag=delivery.payload["tag"],
+        )
+        last_error: Exception | None = None
+        for keypair in reversed(self._ephemeral_keys):
+            try:
+                plaintext = unseal(keypair, box)
+                break
+            except ValueError as error:
+                last_error = error
+        else:
+            raise ValueError(f"no ephemeral key decrypts the delivery: {last_error}")
+        record = json.loads(plaintext.decode())
+        return FlyoverReservation(
+            isd_as=IsdAs(record["isd"], record["asn"]),
+            resinfo=ResInfo(
+                ingress=record["ingress"],
+                egress=record["egress"],
+                res_id=record["res_id"],
+                bw_cls=record["bw_cls"],
+                start=record["start"],
+                duration=record["duration"],
+            ),
+            auth_key=bytes.fromhex(record["auth_key"]),
+        )
+
+    def owned_assets(self) -> list:
+        """Bandwidth assets currently owned by this host (test helper)."""
+        return self.executor.ledger.objects_owned_by(self.account.address, ASSET_TYPE)
+
+
+def _align_window(payload: dict, start: int, expiry: int) -> tuple[int, int] | None:
+    """Smallest granule-aligned window of ``payload`` covering [start, expiry).
+
+    Returns None when the requested window is empty or falls outside the
+    asset's validity interval.
+    """
+    if expiry <= start:
+        return None
+    granularity = payload["granularity"]
+    anchor = payload["start"]
+    buy_start = anchor + (start - anchor) // granularity * granularity
+    over = (expiry - anchor) % granularity
+    buy_expiry = expiry if over == 0 else expiry + granularity - over
+    if buy_start < payload["start"] or buy_expiry > payload["expiry"]:
+        return None
+    return buy_start, buy_expiry

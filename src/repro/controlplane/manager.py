@@ -1,0 +1,120 @@
+"""Reservation manager: keeping a path continuously covered.
+
+Hummingbird reservations have hard start/expiry times and the paper expects
+the common usage to be "established ahead of time" (§6.2).  The manager
+automates that for a long-lived connection: it buys consecutive reservation
+windows ahead of expiry, so an application always holds a currently active
+reservation set plus the next one.
+
+This is deliberately simple policy code on top of the public control-plane
+API — the kind of component a downstream user would otherwise write first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.controlplane.hostclient import HopRequirement, HostClient
+from repro.controlplane.workflow import MarketDeployment, PurchaseOutcome, purchase_path
+from repro.hummingbird.reservation import FlyoverReservation
+from repro.scion.paths import AsCrossing
+
+
+@dataclass
+class ReservationLease:
+    """One purchased window for the whole path."""
+
+    start: int
+    expiry: int
+    reservations: list[FlyoverReservation]
+    outcome: PurchaseOutcome
+
+    def active_at(self, now: float) -> bool:
+        return self.start <= now < self.expiry
+
+
+class ReservationManager:
+    """Rolling-window reservation maintenance for one path.
+
+    ``renew_margin`` controls how long before expiry the next window is
+    purchased; Fig. 4 shows purchases complete in seconds, so a margin of
+    tens of seconds is already generous.
+    """
+
+    def __init__(
+        self,
+        deployment: MarketDeployment,
+        host: HostClient,
+        crossings: list[AsCrossing],
+        bandwidth_kbps: int,
+        window_seconds: int = 600,
+        renew_margin: float = 60.0,
+    ) -> None:
+        if window_seconds <= 0:
+            raise ValueError("window must be positive")
+        if renew_margin >= window_seconds:
+            raise ValueError("renewal margin must be shorter than the window")
+        self.deployment = deployment
+        self.host = host
+        self.crossings = crossings
+        self.bandwidth_kbps = bandwidth_kbps
+        self.window_seconds = window_seconds
+        self.renew_margin = renew_margin
+        self.leases: list[ReservationLease] = []
+        self.total_price_mist = 0
+
+    # -- public API -----------------------------------------------------------
+
+    def start(self, first_start: int) -> ReservationLease:
+        """Buy the first window, starting at ``first_start``."""
+        if self.leases:
+            raise RuntimeError("manager already started")
+        return self._buy_window(first_start)
+
+    def tick(self, now: float) -> ReservationLease | None:
+        """Renew if the active lease is within the renewal margin.
+
+        Returns the newly purchased lease, or None when no action was
+        needed.  Call this from the application's housekeeping loop.
+        """
+        if not self.leases:
+            raise RuntimeError("manager not started")
+        horizon = self.leases[-1].expiry
+        if now >= horizon:
+            raise RuntimeError(
+                "coverage lapsed: tick() was not called within the margin"
+            )
+        if horizon - now > self.renew_margin:
+            return None
+        return self._buy_window(horizon)
+
+    def active_reservations(self, now: float) -> list[FlyoverReservation]:
+        """The reservation set valid right now (for the packet source)."""
+        for lease in reversed(self.leases):
+            if lease.active_at(now):
+                return lease.reservations
+        raise LookupError("no active lease; did coverage lapse?")
+
+    def coverage_until(self) -> int:
+        return self.leases[-1].expiry if self.leases else 0
+
+    # -- internals ----------------------------------------------------------------
+
+    def _buy_window(self, start: int) -> ReservationLease:
+        outcome = purchase_path(
+            self.deployment,
+            self.host,
+            self.crossings,
+            start=start,
+            expiry=start + self.window_seconds,
+            bandwidth_kbps=self.bandwidth_kbps,
+        )
+        lease = ReservationLease(
+            start=min(r.resinfo.start for r in outcome.reservations),
+            expiry=min(r.resinfo.expiry for r in outcome.reservations),
+            reservations=outcome.reservations,
+            outcome=outcome,
+        )
+        self.leases.append(lease)
+        self.total_price_mist += outcome.price_mist
+        return lease

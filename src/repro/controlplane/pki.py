@@ -1,0 +1,68 @@
+"""Control-plane PKI for ASes (§3.2: RPKI / SCION CP-PKI stand-in).
+
+A single trust anchor signs AS certificates binding (ISD, AS number) to a
+Schnorr public key.  The asset contract holds a reference to the anchor's
+public key and verifies certificates during AS registration; possession of
+the certified key is proven with a signature over the registering address.
+
+Certificates are plain dicts (ledger-serializable): all group elements are
+fixed-width byte strings so storage gas sees realistic sizes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.crypto.signatures import Signature, SigningKey, verify
+from repro.scion.addresses import IsdAs
+
+_KEY_BYTES = 256
+
+
+def _cert_message(isd: int, asn: int, public_key: bytes) -> bytes:
+    return b"as-cert:" + isd.to_bytes(2, "big") + asn.to_bytes(6, "big") + public_key
+
+
+class CpPki:
+    """The control-plane trust anchor."""
+
+    def __init__(self, seed: int = 2024) -> None:
+        self._rng = random.Random(seed)
+        self._root = SigningKey.generate(self._rng)
+
+    @property
+    def root_public_key(self) -> int:
+        return self._root.public
+
+    def issue_certificate(self, isd_as: IsdAs, subject_public_key: int) -> dict:
+        """Sign a certificate for an AS's Schnorr public key."""
+        public_bytes = subject_public_key.to_bytes(_KEY_BYTES, "big")
+        signature = self._root.sign(
+            _cert_message(isd_as.isd, isd_as.asn, public_bytes), self._rng
+        )
+        return {
+            "isd": isd_as.isd,
+            "asn": isd_as.asn,
+            "public_key": public_bytes,
+            "sig_commitment": signature.commitment.to_bytes(_KEY_BYTES, "big"),
+            "sig_response": signature.response.to_bytes(_KEY_BYTES, "big"),
+        }
+
+    def verify_certificate(self, certificate: dict) -> bool:
+        """Check the anchor signature over (ISD, ASN, public key)."""
+        try:
+            message = _cert_message(
+                certificate["isd"], certificate["asn"], certificate["public_key"]
+            )
+            signature = Signature(
+                commitment=int.from_bytes(certificate["sig_commitment"], "big"),
+                response=int.from_bytes(certificate["sig_response"], "big"),
+            )
+        except (KeyError, TypeError):
+            return False
+        return verify(self._root.public, message, signature)
+
+
+def subject_public_key(certificate: dict) -> int:
+    """Extract the certified Schnorr public key as an integer."""
+    return int.from_bytes(certificate["public_key"], "big")

@@ -1,0 +1,218 @@
+"""End-to-end control-plane orchestration and the Fig. 4 latency experiment.
+
+``MarketDeployment`` wires everything together: ledger + contracts,
+registered AS services with listed assets for every interface, and funded
+host clients.  ``purchase_path`` runs the full reservation workflow of
+Fig. 2 for a list of AS crossings and reports the latency breakdown the
+paper plots in Fig. 4:
+
+* **request** — the atomic buy-and-redeem transaction: it touches the
+  shared marketplace, so it takes the consensus path;
+* **response** — until all per-AS deliveries arrive: each AS observes the
+  redeem event (checkpoint-polling delay), computes the reservation, and
+  delivers it via an owned-object fast-path transaction; the phase ends
+  when the *slowest* AS's delivery reaches the buyer;
+* **total** = request + response.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.clock import Clock, SimClock
+from repro.contracts.asset import AssetContract
+from repro.contracts.coin import CoinContract
+from repro.contracts.market import MarketContract
+from repro.controlplane.asclient import AsService
+from repro.controlplane.hostclient import HopRequirement, HostClient, PurchasePlan
+from repro.controlplane.pki import CpPki
+from repro.crypto.prf import DEFAULT_PRF_FACTORY, PrfFactory
+from repro.hummingbird.reservation import FlyoverReservation
+from repro.ledger.accounts import Account, sui_to_mist
+from repro.ledger.chain import Ledger
+from repro.ledger.committee import Committee
+from repro.ledger.executor import LedgerExecutor
+from repro.ledger.transactions import Command, Transaction
+from repro.scion.paths import AsCrossing
+from repro.scion.topology import Topology
+
+DEFAULT_PRICE_MICROMIST = 50  # posted price per kbps-second
+DEFAULT_ASSET_BANDWIDTH_KBPS = 10_000_000  # 10 Gbps per interface direction
+
+
+@dataclass
+class LatencyBreakdown:
+    """Fig. 4 measurement: request / response / total, in seconds."""
+
+    request: float
+    response: float
+
+    @property
+    def total(self) -> float:
+        return self.request + self.response
+
+
+@dataclass
+class PurchaseOutcome:
+    """Everything the host got out of one atomic path purchase."""
+
+    reservations: list[FlyoverReservation]
+    latency: LatencyBreakdown
+    price_mist: int
+    gas: object  # GasSummary of the buy-and-redeem transaction
+
+
+@dataclass
+class MarketDeployment:
+    """A fully wired control plane over a topology."""
+
+    topology: Topology
+    ledger: Ledger
+    executor: LedgerExecutor
+    marketplace: str
+    services: dict = field(default_factory=dict)  # IsdAs -> AsService
+    clock: Clock | None = None
+    rng: random.Random | None = None
+
+    def service(self, isd_as) -> AsService:
+        return self.services[isd_as]
+
+    def new_host(self, funding_sui: float = 100.0, name: str = "host") -> HostClient:
+        account = Account.generate(self.rng, name)
+        host = HostClient(account, self.executor, self.rng)
+        host.fund(sui_to_mist(funding_sui))
+        return host
+
+
+def deploy_market(
+    topology: Topology,
+    clock: Clock | None = None,
+    seed: int = 7,
+    committee: Committee | None = None,
+    asset_start: int | None = None,
+    asset_duration: int = 3600,
+    asset_bandwidth_kbps: int = DEFAULT_ASSET_BANDWIDTH_KBPS,
+    price_micromist_per_unit: int = DEFAULT_PRICE_MICROMIST,
+    granularity: int = 60,
+    min_bandwidth_kbps: int = 100,
+    prf_factory: PrfFactory = DEFAULT_PRF_FACTORY,
+) -> MarketDeployment:
+    """Stand up ledger, contracts, marketplace, and one service per AS.
+
+    Every AS registers, then issues and lists one large ingress asset and
+    one large egress asset per interface (plus the AS-internal interface 0,
+    so first/last-hop reservations work).
+    """
+    rng = random.Random(seed)
+    clock = clock if clock is not None else SimClock()
+    pki = CpPki(seed=seed)
+    ledger = Ledger()
+    ledger.register_contract(CoinContract())
+    ledger.register_contract(AssetContract(pki))
+    ledger.register_contract(MarketContract())
+    executor = LedgerExecutor(
+        ledger,
+        committee if committee is not None else Committee(seed=seed),
+        clock,
+    )
+
+    operator = Account.generate(rng, "market-operator")
+    created = executor.submit(
+        Transaction(
+            sender=operator.address,
+            commands=[Command("market", "create_marketplace", {})],
+        )
+    )
+    if not created.effects.ok:
+        raise RuntimeError(f"marketplace creation failed: {created.effects.error}")
+    marketplace = created.effects.returns[0]["marketplace"]
+
+    start = int(clock.now()) if asset_start is None else asset_start
+    services: dict = {}
+    for autonomous_system in topology.ases:
+        account = Account.generate(rng, f"as-{autonomous_system.isd_as}")
+        service = AsService(
+            autonomous_system,
+            account,
+            executor,
+            pki,
+            rng=random.Random(seed ^ autonomous_system.isd_as.asn),
+            prf_factory=prf_factory,
+        )
+        registered = service.register()
+        if not registered.effects.ok:
+            raise RuntimeError(f"AS registration failed: {registered.effects.error}")
+        service.register_as_seller(marketplace)
+        interfaces = [0] + sorted(autonomous_system.interfaces)
+        for interface in interfaces:
+            for is_ingress in (True, False):
+                listed = service.issue_and_list(
+                    marketplace,
+                    interface,
+                    is_ingress,
+                    asset_bandwidth_kbps,
+                    start,
+                    start + asset_duration,
+                    price_micromist_per_unit,
+                    granularity,
+                    min_bandwidth_kbps,
+                )
+                if not listed.effects.ok:
+                    raise RuntimeError(f"issue/list failed: {listed.effects.error}")
+        services[autonomous_system.isd_as] = service
+
+    return MarketDeployment(
+        topology=topology,
+        ledger=ledger,
+        executor=executor,
+        marketplace=marketplace,
+        services=services,
+        clock=clock,
+        rng=rng,
+    )
+
+
+def purchase_path(
+    deployment: MarketDeployment,
+    host: HostClient,
+    crossings: list[AsCrossing],
+    start: int,
+    expiry: int,
+    bandwidth_kbps: int,
+    observation_delay: tuple[float, float] = (0.05, 0.30),
+) -> PurchaseOutcome:
+    """Run the Fig. 2 workflow for a path and measure Fig. 4 latencies."""
+    requirements = [
+        HopRequirement.from_crossing(crossing, start, expiry, bandwidth_kbps)
+        for crossing in crossings
+    ]
+    plan = host.plan_purchase(deployment.marketplace, requirements)
+    submitted = host.atomic_buy_and_redeem(deployment.marketplace, plan)
+    if not submitted.effects.ok:
+        raise RuntimeError(f"atomic buy-and-redeem aborted: {submitted.effects.error}")
+    request_latency = submitted.latency
+    price = sum(ret.get("price_mist", 0) for ret in submitted.effects.returns)
+
+    # Response phase: every on-path AS observes the redeem event after a
+    # polling delay and answers with a fast-path delivery; the phase ends
+    # when the slowest delivery lands.
+    rng = deployment.rng if deployment.rng is not None else random.Random(1)
+    response_latency = 0.0
+    for crossing in crossings:
+        service = deployment.service(crossing.isd_as)
+        records = service.poll_and_deliver()
+        if not records:
+            raise RuntimeError(f"AS {crossing.isd_as} found no redeem request")
+        for record in records:
+            poll_delay = rng.uniform(*observation_delay)
+            delivery_latency = poll_delay + record.submitted.latency
+            response_latency = max(response_latency, delivery_latency)
+
+    reservations = host.collect_reservations()
+    return PurchaseOutcome(
+        reservations=reservations,
+        latency=LatencyBreakdown(request=request_latency, response=response_latency),
+        price_mist=price,
+        gas=submitted.effects.gas,
+    )

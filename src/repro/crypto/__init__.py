@@ -1,0 +1,38 @@
+"""Cryptographic substrate: AES-128, AES-CMAC, PRF backends, key derivation.
+
+Everything is implemented from scratch (no OpenSSL dependency) and validated
+against FIPS-197 / RFC 4493 test vectors.
+"""
+
+from repro.crypto.aes import AES128, BLOCK_SIZE, expand_key, xor_bytes
+from repro.crypto.cmac import Cmac, aes_cmac
+from repro.crypto.keys import SecretValue, derive_auth_key, pack_resinfo_input
+from repro.crypto.prf import (
+    DEFAULT_PRF_FACTORY,
+    AesPrf,
+    Blake2Prf,
+    Prf,
+    PrfFactory,
+)
+from repro.crypto.sealing import KeyPair, SealedBox, seal, unseal
+
+__all__ = [
+    "AES128",
+    "BLOCK_SIZE",
+    "expand_key",
+    "xor_bytes",
+    "Cmac",
+    "aes_cmac",
+    "SecretValue",
+    "derive_auth_key",
+    "pack_resinfo_input",
+    "DEFAULT_PRF_FACTORY",
+    "AesPrf",
+    "Blake2Prf",
+    "Prf",
+    "PrfFactory",
+    "KeyPair",
+    "SealedBox",
+    "seal",
+    "unseal",
+]

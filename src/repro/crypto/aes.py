@@ -1,0 +1,244 @@
+"""Pure-Python AES-128 block cipher (FIPS-197).
+
+Hummingbird derives reservation keys and per-packet authentication tags with
+AES-based PRFs (the paper's DPDK prototype uses AES-NI).  This module
+implements the cipher from scratch so the repository has no dependency on
+OpenSSL-backed packages; it is validated against the FIPS-197 and SP 800-38A
+test vectors in ``tests/crypto/test_aes.py``.
+
+Only encryption is needed (CMAC and the one-block PRFs never decrypt), but
+the inverse cipher is provided for completeness and for the sealed-delivery
+envelope in :mod:`repro.crypto.sealing`.
+
+The implementation favours clarity over raw speed: the S-box and the four
+T-tables are precomputed once at import time, and the per-block work is a
+straightforward table-lookup round loop.  For throughput-oriented
+simulations, :mod:`repro.crypto.prf` offers a keyed-BLAKE2 backend.
+"""
+
+from __future__ import annotations
+
+BLOCK_SIZE = 16
+KEY_SIZE = 16
+NUM_ROUNDS = 10
+
+# ---------------------------------------------------------------------------
+# S-box generation (multiplicative inverse in GF(2^8) + affine transform).
+# ---------------------------------------------------------------------------
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8) modulo the AES polynomial x^8+x^4+x^3+x+1."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        high = a & 0x80
+        a = (a << 1) & 0xFF
+        if high:
+            a ^= 0x1B
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> tuple[bytes, bytes]:
+    """Compute the AES S-box and its inverse from first principles."""
+    # Multiplicative inverses via exponentiation by generator 3.
+    pow3 = [0] * 256
+    log3 = [0] * 256
+    value = 1
+    for exponent in range(255):
+        pow3[exponent] = value
+        log3[value] = exponent
+        value = _gf_mul(value, 3)
+    pow3[255] = pow3[0]
+
+    sbox = bytearray(256)
+    inv_sbox = bytearray(256)
+    for x in range(256):
+        inv = 0 if x == 0 else pow3[255 - log3[x]]
+        # Affine transform: b ^ rot(b,1) ^ rot(b,2) ^ rot(b,3) ^ rot(b,4) ^ 0x63
+        b = inv
+        transformed = 0x63
+        for shift in range(5):
+            transformed ^= ((b << shift) | (b >> (8 - shift))) & 0xFF
+        sbox[x] = transformed
+    for x in range(256):
+        inv_sbox[sbox[x]] = x
+    return bytes(sbox), bytes(inv_sbox)
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+# Round constants for the key schedule (powers of 2 in GF(2^8)).
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+def _build_tables() -> tuple[list[int], list[int], list[int], list[int]]:
+    """Precompute the four encryption T-tables (SubBytes+ShiftRows+MixColumns)."""
+    t0, t1, t2, t3 = [], [], [], []
+    for x in range(256):
+        s = SBOX[x]
+        s2 = _gf_mul(s, 2)
+        s3 = _gf_mul(s, 3)
+        word = (s2 << 24) | (s << 16) | (s << 8) | s3
+        t0.append(word)
+        t1.append(((word >> 8) | (word << 24)) & 0xFFFFFFFF)
+        t2.append(((word >> 16) | (word << 16)) & 0xFFFFFFFF)
+        t3.append(((word >> 24) | (word << 8)) & 0xFFFFFFFF)
+    return t0, t1, t2, t3
+
+
+_T0, _T1, _T2, _T3 = _build_tables()
+
+
+def expand_key(key: bytes) -> list[int]:
+    """Expand a 16-byte key into 44 round-key words (FIPS-197 key schedule).
+
+    This corresponds to the "AES-extend authentication key" step measured in
+    Table 3 of the paper: deriving a reservation key :math:`A_K` yields raw
+    key bytes, which must be expanded before the flyover MAC can be computed.
+    """
+    if len(key) != KEY_SIZE:
+        raise ValueError(f"AES-128 requires a 16-byte key, got {len(key)} bytes")
+    words = [int.from_bytes(key[i : i + 4], "big") for i in range(0, 16, 4)]
+    for i in range(4, 4 * (NUM_ROUNDS + 1)):
+        temp = words[i - 1]
+        if i % 4 == 0:
+            temp = ((temp << 8) | (temp >> 24)) & 0xFFFFFFFF  # RotWord
+            temp = (
+                (SBOX[(temp >> 24) & 0xFF] << 24)
+                | (SBOX[(temp >> 16) & 0xFF] << 16)
+                | (SBOX[(temp >> 8) & 0xFF] << 8)
+                | SBOX[temp & 0xFF]
+            )  # SubWord
+            temp ^= _RCON[i // 4 - 1] << 24
+        words.append(words[i - 4] ^ temp)
+    return words
+
+
+class AES128:
+    """AES-128 block cipher with a precomputed key schedule.
+
+    >>> cipher = AES128(bytes(16))
+    >>> cipher.encrypt_block(bytes(16)).hex()
+    '66e94bd4ef8a2c3b884cfa59ca342b2e'
+    """
+
+    __slots__ = ("_round_keys",)
+
+    def __init__(self, key: bytes) -> None:
+        self._round_keys = expand_key(key)
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt exactly one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"AES block must be 16 bytes, got {len(block)}")
+        rk = self._round_keys
+        s0 = int.from_bytes(block[0:4], "big") ^ rk[0]
+        s1 = int.from_bytes(block[4:8], "big") ^ rk[1]
+        s2 = int.from_bytes(block[8:12], "big") ^ rk[2]
+        s3 = int.from_bytes(block[12:16], "big") ^ rk[3]
+
+        for round_index in range(1, NUM_ROUNDS):
+            base = 4 * round_index
+            t0 = (
+                _T0[(s0 >> 24) & 0xFF]
+                ^ _T1[(s1 >> 16) & 0xFF]
+                ^ _T2[(s2 >> 8) & 0xFF]
+                ^ _T3[s3 & 0xFF]
+                ^ rk[base]
+            )
+            t1 = (
+                _T0[(s1 >> 24) & 0xFF]
+                ^ _T1[(s2 >> 16) & 0xFF]
+                ^ _T2[(s3 >> 8) & 0xFF]
+                ^ _T3[s0 & 0xFF]
+                ^ rk[base + 1]
+            )
+            t2 = (
+                _T0[(s2 >> 24) & 0xFF]
+                ^ _T1[(s3 >> 16) & 0xFF]
+                ^ _T2[(s0 >> 8) & 0xFF]
+                ^ _T3[s1 & 0xFF]
+                ^ rk[base + 2]
+            )
+            t3 = (
+                _T0[(s3 >> 24) & 0xFF]
+                ^ _T1[(s0 >> 16) & 0xFF]
+                ^ _T2[(s1 >> 8) & 0xFF]
+                ^ _T3[s2 & 0xFF]
+                ^ rk[base + 3]
+            )
+            s0, s1, s2, s3 = t0, t1, t2, t3
+
+        # Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+        base = 4 * NUM_ROUNDS
+        out = bytearray(16)
+        state = (s0, s1, s2, s3)
+        for col in range(4):
+            word = (
+                (SBOX[(state[col] >> 24) & 0xFF] << 24)
+                | (SBOX[(state[(col + 1) % 4] >> 16) & 0xFF] << 16)
+                | (SBOX[(state[(col + 2) % 4] >> 8) & 0xFF] << 8)
+                | SBOX[state[(col + 3) % 4] & 0xFF]
+            ) ^ rk[base + col]
+            out[4 * col : 4 * col + 4] = word.to_bytes(4, "big")
+        return bytes(out)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt exactly one 16-byte block (straightforward inverse cipher)."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"AES block must be 16 bytes, got {len(block)}")
+        rk = self._round_keys
+        state = bytearray(block)
+
+        def add_round_key(round_index: int) -> None:
+            for col in range(4):
+                word = rk[4 * round_index + col]
+                for row in range(4):
+                    state[4 * col + row] ^= (word >> (24 - 8 * row)) & 0xFF
+
+        def inv_shift_rows() -> None:
+            for row in range(1, 4):
+                column_values = [state[4 * col + row] for col in range(4)]
+                for col in range(4):
+                    state[4 * col + row] = column_values[(col - row) % 4]
+
+        def inv_sub_bytes() -> None:
+            for i in range(16):
+                state[i] = INV_SBOX[state[i]]
+
+        def inv_mix_columns() -> None:
+            for col in range(4):
+                a = state[4 * col : 4 * col + 4]
+                state[4 * col + 0] = (
+                    _gf_mul(a[0], 14) ^ _gf_mul(a[1], 11) ^ _gf_mul(a[2], 13) ^ _gf_mul(a[3], 9)
+                )
+                state[4 * col + 1] = (
+                    _gf_mul(a[0], 9) ^ _gf_mul(a[1], 14) ^ _gf_mul(a[2], 11) ^ _gf_mul(a[3], 13)
+                )
+                state[4 * col + 2] = (
+                    _gf_mul(a[0], 13) ^ _gf_mul(a[1], 9) ^ _gf_mul(a[2], 14) ^ _gf_mul(a[3], 11)
+                )
+                state[4 * col + 3] = (
+                    _gf_mul(a[0], 11) ^ _gf_mul(a[1], 13) ^ _gf_mul(a[2], 9) ^ _gf_mul(a[3], 14)
+                )
+
+        add_round_key(NUM_ROUNDS)
+        for round_index in range(NUM_ROUNDS - 1, 0, -1):
+            inv_shift_rows()
+            inv_sub_bytes()
+            add_round_key(round_index)
+            inv_mix_columns()
+        inv_shift_rows()
+        inv_sub_bytes()
+        add_round_key(0)
+        return bytes(state)
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError(f"cannot XOR byte strings of lengths {len(a)} and {len(b)}")
+    return bytes(x ^ y for x, y in zip(a, b))

@@ -1,0 +1,94 @@
+"""Hummingbird data plane: the paper's primary contribution.
+
+Flyover reservations (per-AS-hop, composable, identity-free), the
+byte-exact Hummingbird SCION path type, per-packet MAC authentication with
+XOR aggregation, the border-router pipeline of Algorithms 1-4, deterministic
+token-bucket policing, online-interval-colouring ResID assignment, path
+reversal, optional duplicate suppression, and bidirectional reservations.
+"""
+
+from repro.hummingbird.bidirectional import ReservationHandoff
+from repro.hummingbird.duplicate import DuplicateFilter
+from repro.hummingbird.gateway import AdmissionError, GatewayFlow, HummingbirdGateway
+from repro.hummingbird.mac import (
+    TAG_LEN,
+    aggregate_mac,
+    checked_pkt_len,
+    compute_flyover_mac,
+    pack_flyover_mac_input,
+)
+from repro.hummingbird.pathtype import (
+    FLYOVER_HOPFIELD_LEN,
+    HOPFIELD_LEN,
+    FlyoverHopFieldData,
+    HummingbirdPath,
+    is_flyover,
+)
+from repro.hummingbird.policing import (
+    DEFAULT_BURST_TIME,
+    PerInterfacePolicer,
+    PolicingVerdict,
+    TokenBucketArray,
+    max_packet_size_for,
+)
+from repro.hummingbird.reservation import (
+    FlyoverReservation,
+    ResInfo,
+    grant_reservation,
+)
+from repro.hummingbird.resid import (
+    CapacityExhausted,
+    FirstFitColoring,
+    Interval,
+    ResIdAllocator,
+    policing_array_bytes,
+)
+from repro.hummingbird.reversal import reverse_path, to_standard_path
+from repro.hummingbird.router import HummingbirdRouter, RouterStats
+from repro.hummingbird.source import (
+    FlyoverPlacement,
+    HummingbirdSource,
+    ReservationMismatch,
+    ScionBestEffortSource,
+    match_reservations,
+)
+
+__all__ = [
+    "ReservationHandoff",
+    "DuplicateFilter",
+    "AdmissionError",
+    "GatewayFlow",
+    "HummingbirdGateway",
+    "TAG_LEN",
+    "aggregate_mac",
+    "checked_pkt_len",
+    "compute_flyover_mac",
+    "pack_flyover_mac_input",
+    "FLYOVER_HOPFIELD_LEN",
+    "HOPFIELD_LEN",
+    "FlyoverHopFieldData",
+    "HummingbirdPath",
+    "is_flyover",
+    "DEFAULT_BURST_TIME",
+    "PerInterfacePolicer",
+    "PolicingVerdict",
+    "TokenBucketArray",
+    "max_packet_size_for",
+    "FlyoverReservation",
+    "ResInfo",
+    "grant_reservation",
+    "CapacityExhausted",
+    "FirstFitColoring",
+    "Interval",
+    "ResIdAllocator",
+    "policing_array_bytes",
+    "reverse_path",
+    "to_standard_path",
+    "HummingbirdRouter",
+    "RouterStats",
+    "FlyoverPlacement",
+    "HummingbirdSource",
+    "ReservationMismatch",
+    "ScionBestEffortSource",
+    "match_reservations",
+]

@@ -1,0 +1,79 @@
+"""Bidirectional reservation support (Appendix C).
+
+Hummingbird reservations are unidirectional, but the control-plane
+independence means the *source* can obtain reservations for the reverse
+path too — they are billed to the source yet act as backward reservations.
+The recommended exchange (Appendix C) is:
+
+1. the source obtains forward reservations normally;
+2. the source obtains separate reservations for the reverse path;
+3. the source hands the reverse reservations (ResInfo + authentication
+   keys) to the destination over a separate channel;
+4. both sides send over their respective reservations as normal.
+
+:class:`ReservationHandoff` models step 3: a sealed bundle the destination
+can decrypt with its own keypair, mirroring how reservation delivery works
+on the control plane.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+
+from repro.crypto.sealing import KeyPair, SealedBox, seal, unseal
+from repro.hummingbird.reservation import FlyoverReservation, ResInfo
+from repro.scion.addresses import IsdAs
+
+
+@dataclass(frozen=True)
+class ReservationHandoff:
+    """A sealed bundle of reservations for the destination's reverse path."""
+
+    box: SealedBox
+
+    @staticmethod
+    def create(
+        reservations: list[FlyoverReservation],
+        recipient_public: int,
+        rng: random.Random,
+    ) -> "ReservationHandoff":
+        payload = json.dumps(
+            [
+                {
+                    "isd": r.isd_as.isd,
+                    "asn": r.isd_as.asn,
+                    "ingress": r.resinfo.ingress,
+                    "egress": r.resinfo.egress,
+                    "res_id": r.resinfo.res_id,
+                    "bw_cls": r.resinfo.bw_cls,
+                    "start": r.resinfo.start,
+                    "duration": r.resinfo.duration,
+                    "auth_key": r.auth_key.hex(),
+                }
+                for r in reservations
+            ]
+        ).encode()
+        return ReservationHandoff(
+            box=seal(recipient_public, payload, rng, context=b"hummingbird-handoff")
+        )
+
+    def open(self, recipient: KeyPair) -> list[FlyoverReservation]:
+        payload = unseal(recipient, self.box, context=b"hummingbird-handoff")
+        records = json.loads(payload.decode())
+        return [
+            FlyoverReservation(
+                isd_as=IsdAs(record["isd"], record["asn"]),
+                resinfo=ResInfo(
+                    ingress=record["ingress"],
+                    egress=record["egress"],
+                    res_id=record["res_id"],
+                    bw_cls=record["bw_cls"],
+                    start=record["start"],
+                    duration=record["duration"],
+                ),
+                auth_key=bytes.fromhex(record["auth_key"]),
+            )
+            for record in records
+        ]

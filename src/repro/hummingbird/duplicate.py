@@ -1,0 +1,60 @@
+"""Optional duplicate suppression (§5.4, Fig. 13).
+
+Hummingbird deliberately does *not* require duplicate suppression — there is
+no penalty for overuse, so framing attacks are moot, and the only attack it
+would prevent (on-reservation-set DoS) has the cheaper mitigation of
+per-path reservations.  The header nevertheless carries a unique
+``(BaseTimestamp, MillisTimestamp, Counter)`` triple per packet so that ASes
+*can* deploy suppression incrementally; this module is that optional
+component.
+
+Duplicates are demoted to best effort (not dropped): a replayed packet must
+not consume reservation bandwidth, but dropping it would let an on-path
+adversary degrade the connection below best effort by racing the original.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class DuplicateFilter:
+    """Sliding-window replay filter over packet timestamp triples.
+
+    Entries expire after ``window`` seconds (which should cover the router's
+    freshness window Δ + 2δ); memory is bounded by ``max_entries`` with FIFO
+    eviction, so an adversary cannot blow up router state.
+    """
+
+    def __init__(self, window: float = 2.0, max_entries: int = 1 << 20) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.window = window
+        self.max_entries = max_entries
+        self._seen: OrderedDict[tuple[int, int, int, int], float] = OrderedDict()
+
+    def is_duplicate(
+        self, res_id: int, base: int, millis: int, counter: int, now: float
+    ) -> bool:
+        """Record the packet ID and report whether it was already seen."""
+        self._expire(now)
+        key = (res_id, base, millis, counter)
+        if key in self._seen:
+            return True
+        self._seen[key] = now
+        if len(self._seen) > self.max_entries:
+            self._seen.popitem(last=False)
+        return False
+
+    def _expire(self, now: float) -> None:
+        cutoff = now - self.window
+        while self._seen:
+            key, seen_at = next(iter(self._seen.items()))
+            if seen_at >= cutoff:
+                break
+            del self._seen[key]
+
+    def __len__(self) -> int:
+        return len(self._seen)

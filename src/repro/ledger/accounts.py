@@ -1,0 +1,55 @@
+"""Accounts and coins: addresses, keypairs, SUI-denominated payments.
+
+Addresses are hashes of Schnorr public keys.  Payments on the marketplace
+flow through ``Coin`` objects (owned objects with an integer MIST balance,
+1 SUI = 1e9 MIST), so buying an asset has the same object-churn profile as
+on the real chain.  Gas, by contrast, is accounted out-of-band by the gas
+meter (modelling the gas coin would only add a constant mutation per
+transaction; documented simplification).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+from repro.crypto.sealing import KeyPair
+from repro.crypto.signatures import SigningKey
+
+MIST_PER_SUI = 1_000_000_000
+COIN_TYPE = "coin::Coin"
+
+
+def address_of(public_key: int) -> str:
+    """Derive a 32-byte address (hex) from a Schnorr public key."""
+    return hashlib.blake2s(public_key.to_bytes(256, "big"), digest_size=32).hexdigest()
+
+
+@dataclass
+class Account:
+    """A ledger participant: signing key, encryption keypair, address."""
+
+    signing_key: SigningKey
+    encryption_key: KeyPair
+    name: str = ""
+
+    @staticmethod
+    def generate(rng: random.Random, name: str = "") -> "Account":
+        return Account(
+            signing_key=SigningKey.generate(rng),
+            encryption_key=KeyPair.generate(rng),
+            name=name,
+        )
+
+    @property
+    def address(self) -> str:
+        return address_of(self.signing_key.public)
+
+
+def sui_to_mist(sui: float) -> int:
+    return int(round(sui * MIST_PER_SUI))
+
+
+def mist_to_sui(mist: int) -> float:
+    return mist / MIST_PER_SUI

@@ -1,0 +1,62 @@
+"""Executor: ledger execution combined with the committee latency model.
+
+Wraps a :class:`Ledger` and a :class:`Committee` and stamps every executed
+transaction with a latency drawn from the appropriate path:
+
+* transactions that only touch owned objects -> **fast path** (Byzantine
+  consistent broadcast, §3.3/§6.1);
+* transactions touching any shared object (the marketplace) -> **consensus**.
+
+The executor also advances a simulation clock so reservation start times
+and ledger timestamps stay consistent across a scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clock import Clock, SimClock
+from repro.ledger.chain import Ledger
+from repro.ledger.committee import Committee
+from repro.ledger.transactions import Transaction, TransactionEffects
+
+
+@dataclass
+class SubmittedTransaction:
+    """Effects plus the latency the submitter observed."""
+
+    effects: TransactionEffects
+    latency: float
+    used_fast_path: bool
+
+
+class LedgerExecutor:
+    """Submission endpoint for clients (hosts and AS services)."""
+
+    def __init__(
+        self,
+        ledger: Ledger,
+        committee: Committee | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        self.ledger = ledger
+        self.committee = committee if committee is not None else Committee()
+        self.clock = clock if clock is not None else SimClock()
+
+    def submit(self, transaction: Transaction) -> SubmittedTransaction:
+        """Execute a transaction and report its observed latency.
+
+        The latency model is applied regardless of success — an aborted
+        transaction still travelled to the committee.
+        """
+        self.ledger.now = self.clock.now()
+        effects = self.ledger.execute(transaction)
+        if effects.touches_shared:
+            latency = self.committee.consensus_latency()
+            fast = False
+        else:
+            latency = self.committee.fast_path_latency()
+            fast = True
+        if isinstance(self.clock, SimClock):
+            self.clock.advance(latency)
+        return SubmittedTransaction(effects=effects, latency=latency, used_fast_path=fast)

@@ -1,0 +1,35 @@
+"""Discrete-event network simulator: links, routers, traffic, QoS scenarios."""
+
+from repro.netsim.events import EventLoop
+from repro.netsim.link import Link, LinkStats
+from repro.netsim.metrics import FlowMetrics
+from repro.netsim.nodes import HostSink, RouterNode, SimPacket
+from repro.netsim.scenarios import (
+    SIM_PRF,
+    CongestionResult,
+    PathSimulation,
+    build_path_simulation,
+    congestion_experiment,
+    linear_path,
+)
+from repro.netsim.traffic import CbrSource, FloodSource, OnOffSource, ReplayAttacker
+
+__all__ = [
+    "EventLoop",
+    "Link",
+    "LinkStats",
+    "FlowMetrics",
+    "HostSink",
+    "RouterNode",
+    "SimPacket",
+    "SIM_PRF",
+    "CongestionResult",
+    "PathSimulation",
+    "build_path_simulation",
+    "congestion_experiment",
+    "linear_path",
+    "CbrSource",
+    "FloodSource",
+    "OnOffSource",
+    "ReplayAttacker",
+]

@@ -1,0 +1,59 @@
+"""Discrete-event simulation core.
+
+A classic heap-based event loop.  The loop drives a shared
+:class:`~repro.clock.SimClock` so that every component that takes a clock
+(border routers, policers, traffic sources) observes simulation time
+without any plumbing changes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from repro.clock import SimClock
+
+
+class EventLoop:
+    """Priority-queue scheduler over a :class:`SimClock`."""
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self.clock = clock if clock is not None else SimClock(0.0)
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._events_run = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        self.schedule_at(self.clock.now() + delay, callback)
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        if when < self.clock.now():
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._queue, (when, next(self._sequence), callback))
+
+    def run_until(self, end_time: float, max_events: int = 10_000_000) -> int:
+        """Process events up to ``end_time``; returns the number executed."""
+        executed = 0
+        while self._queue and executed < max_events:
+            when, _, callback = self._queue[0]
+            if when > end_time:
+                break
+            heapq.heappop(self._queue)
+            self.clock.set(when)
+            callback()
+            executed += 1
+        self.clock.set(max(self.clock.now(), end_time))
+        self._events_run += executed
+        return executed
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    @property
+    def now(self) -> float:
+        return self.clock.now()

@@ -1,0 +1,68 @@
+"""Per-flow measurement: goodput, latency percentiles, loss."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FlowMetrics:
+    """Collected at the destination sink for one flow."""
+
+    flow_id: int
+    sent_packets: int = 0
+    sent_bytes: int = 0
+    received_packets: int = 0
+    received_bytes: int = 0
+    latencies: list[float] = field(default_factory=list)
+    first_sent: float | None = None
+    last_received: float | None = None
+
+    def record_sent(self, size_bytes: int, now: float) -> None:
+        self.sent_packets += 1
+        self.sent_bytes += size_bytes
+        if self.first_sent is None:
+            self.first_sent = now
+
+    def record_received(self, size_bytes: int, sent_at: float, now: float) -> None:
+        self.received_packets += 1
+        self.received_bytes += size_bytes
+        self.latencies.append(now - sent_at)
+        self.last_received = now
+
+    @property
+    def loss_rate(self) -> float:
+        if self.sent_packets == 0:
+            return 0.0
+        return 1.0 - self.received_packets / self.sent_packets
+
+    def goodput_bps(self, duration: float | None = None) -> float:
+        """Received payload rate over the active window (or ``duration``)."""
+        if duration is None:
+            if self.first_sent is None or self.last_received is None:
+                return 0.0
+            duration = self.last_received - self.first_sent
+        if duration <= 0:
+            return 0.0
+        return self.received_bytes * 8 / duration
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Interpolation-free percentile of observed one-way latencies."""
+        if not self.latencies:
+            return float("nan")
+        if not 0 <= percentile <= 100:
+            raise ValueError("percentile must be within [0, 100]")
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(round(percentile / 100 * (len(ordered) - 1))))
+        return ordered[index]
+
+    def summary(self) -> dict:
+        return {
+            "flow": self.flow_id,
+            "sent": self.sent_packets,
+            "received": self.received_packets,
+            "loss_rate": round(self.loss_rate, 4),
+            "goodput_mbps": round(self.goodput_bps() / 1e6, 3),
+            "p50_ms": round(self.latency_percentile(50) * 1000, 3) if self.latencies else None,
+            "p99_ms": round(self.latency_percentile(99) * 1000, 3) if self.latencies else None,
+        }

@@ -1,0 +1,261 @@
+"""Canned simulation scenarios for the QoS experiments.
+
+The central harness, :func:`build_path_simulation`, turns a forwarding path
+into a chain of router nodes joined by priority-queue links, with a metrics
+sink at the destination.  Reservations are granted directly by the on-path
+ASes (the market is exercised elsewhere; here we study data-plane
+behaviour).
+
+The flagship experiment — :func:`congestion_experiment` — reproduces the
+QoS property D2: a reservation-protected flow keeps its goodput and latency
+through a best-effort flood that saturates the bottleneck link, while an
+unprotected flow collapses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.clock import SimClock
+from repro.crypto.prf import PrfFactory
+from repro.hummingbird.reservation import FlyoverReservation, ResInfo, grant_reservation
+from repro.hummingbird.router import HummingbirdRouter
+from repro.hummingbird.source import HummingbirdSource, ScionBestEffortSource
+from repro.netsim.events import EventLoop
+from repro.netsim.link import Link
+from repro.netsim.metrics import FlowMetrics
+from repro.netsim.nodes import HostSink, RouterNode
+from repro.netsim.traffic import CbrSource, FloodSource
+from repro.scion.addresses import HostAddr, ScionAddr
+from repro.scion.paths import ForwardingPath, as_crossings
+from repro.scion.topology import Topology
+from repro.wire import bwcls
+
+# Simulations hash millions of packets; the keyed-BLAKE2 backend keeps the
+# event loop fast while exercising the identical MAC code paths.  Every
+# MAC-producing component of one simulation (beaconing, sources, routers)
+# must share one factory — use :func:`linear_path` to get consistent
+# topology + path artifacts.
+SIM_PRF = PrfFactory("blake2")
+
+
+def linear_path(
+    num_ases: int,
+    timestamp: int = 1_700_000_000,
+    prf_factory: PrfFactory = SIM_PRF,
+):
+    """Chain topology + leaf-to-core forwarding path, beaconing included.
+
+    Returns ``(topology, path)`` whose hop-field MACs were produced with
+    ``prf_factory`` — hand the same factory to
+    :func:`build_path_simulation`.
+    """
+    from repro.scion.beaconing import run_beaconing
+    from repro.scion.paths import PathLookup
+    from repro.scion.topology import linear_topology
+
+    topology = linear_topology(num_ases)
+    store = run_beaconing(topology, timestamp=timestamp, prf_factory=prf_factory)
+    lookup = PathLookup(store)
+    path = lookup.find_paths(
+        topology.ases[-1].isd_as, topology.ases[0].isd_as
+    )[0]
+    return topology, path
+
+
+@dataclass
+class PathSimulation:
+    """A wired-up simulation of one forwarding path."""
+
+    loop: EventLoop
+    clock: SimClock
+    topology: Topology
+    path: ForwardingPath
+    nodes: dict = field(default_factory=dict)  # IsdAs -> RouterNode
+    links: list = field(default_factory=list)
+    sink: HostSink | None = None
+    src_addr: ScionAddr | None = None
+    dst_addr: ScionAddr | None = None
+    prf_factory: PrfFactory = SIM_PRF
+
+    @property
+    def entry(self) -> RouterNode:
+        return self.nodes[self.path.src]
+
+    def grant_full_path(
+        self, bandwidth_kbps: int, start: int, duration: int, res_id: int = 0
+    ) -> list[FlyoverReservation]:
+        """Have every on-path AS grant a reservation for this path."""
+        reservations = []
+        for crossing in as_crossings(self.path):
+            autonomous_system = self.topology.as_of(crossing.isd_as)
+            resinfo = ResInfo(
+                ingress=crossing.ingress,
+                egress=crossing.egress,
+                res_id=res_id,
+                bw_cls=bwcls.encode_ceil(bandwidth_kbps),
+                start=start,
+                duration=duration,
+            )
+            reservations.append(
+                grant_reservation(
+                    crossing.isd_as,
+                    autonomous_system.secret_value,
+                    resinfo,
+                    self.prf_factory,
+                )
+            )
+        return reservations
+
+    def hummingbird_source(self, reservations: list[FlyoverReservation]) -> HummingbirdSource:
+        return HummingbirdSource(
+            self.src_addr,
+            self.dst_addr,
+            self.path,
+            reservations,
+            self.clock,
+            self.prf_factory,
+        )
+
+    def best_effort_source(self) -> ScionBestEffortSource:
+        return ScionBestEffortSource(self.src_addr, self.dst_addr, self.path)
+
+
+def build_path_simulation(
+    topology: Topology,
+    path: ForwardingPath,
+    start_time: float = 1_700_000_000.0,
+    link_rate_bps: float = 10_000_000.0,
+    propagation_delay: float = 0.002,
+    buffer_bytes: int = 64_000,
+    burst_time: float | None = None,
+    prf_factory: PrfFactory = SIM_PRF,
+    link_rates: list[float] | None = None,
+) -> PathSimulation:
+    """Instantiate routers, links and the destination sink along ``path``.
+
+    ``link_rates`` overrides ``link_rate_bps`` per link (one entry per
+    inter-AS link in traversal order) — e.g. a slow first link makes a
+    single-hop bottleneck.
+    """
+    clock = SimClock(start_time)
+    loop = EventLoop(clock)
+    simulation = PathSimulation(
+        loop=loop,
+        clock=clock,
+        topology=topology,
+        path=path,
+        prf_factory=prf_factory,
+        src_addr=ScionAddr(path.src, HostAddr.from_string("10.0.0.1")),
+        dst_addr=ScionAddr(path.dst, HostAddr.from_string("10.0.0.2")),
+    )
+    crossings = as_crossings(path)
+    for crossing in crossings:
+        autonomous_system = topology.as_of(crossing.isd_as)
+        router = HummingbirdRouter(
+            autonomous_system, clock, prf_factory, burst_time=burst_time
+        )
+        simulation.nodes[crossing.isd_as] = RouterNode(router)
+    for index, (first, second) in enumerate(zip(crossings, crossings[1:])):
+        rate = link_rate_bps if link_rates is None else link_rates[index]
+        link = Link(
+            loop,
+            rate_bps=rate,
+            propagation_delay=propagation_delay,
+            buffer_bytes=buffer_bytes,
+            name=f"{first.isd_as}->{second.isd_as}",
+        )
+        simulation.links.append(link)
+        simulation.nodes[first.isd_as].connect(
+            first.egress, link, simulation.nodes[second.isd_as], second.ingress
+        )
+    sink = HostSink(clock)
+    simulation.nodes[crossings[-1].isd_as].attach_sink(sink)
+    simulation.sink = sink
+    return simulation
+
+
+@dataclass
+class CongestionResult:
+    """Outcome of :func:`congestion_experiment` for one flow setup."""
+
+    victim: dict
+    attacker: dict
+    bottleneck_utilization: float
+
+
+def congestion_experiment(
+    topology: Topology,
+    path: ForwardingPath,
+    protected: bool,
+    victim_rate_bps: float = 2_000_000.0,
+    flood_rate_bps: float = 20_000_000.0,
+    link_rate_bps: float = 10_000_000.0,
+    duration: float = 3.0,
+    payload_bytes: int = 1000,
+    seed: int = 1,
+    prf_factory: PrfFactory = SIM_PRF,
+) -> CongestionResult:
+    """Victim flow vs. best-effort flood over a shared bottleneck path.
+
+    With ``protected=True`` the victim uses a full-path reservation sized to
+    its sending rate; otherwise it competes as plain best effort.  The path
+    must have been beaconed with ``prf_factory`` (see :func:`linear_path`).
+    """
+    simulation = build_path_simulation(
+        topology, path, link_rate_bps=link_rate_bps, prf_factory=prf_factory
+    )
+    start = int(simulation.clock.now())
+    rng = random.Random(seed)
+
+    if protected:
+        reservations = simulation.grant_full_path(
+            bandwidth_kbps=int(victim_rate_bps * 1.25 / 1000),
+            start=start,
+            duration=int(duration) + 60,
+        )
+        victim_builder = simulation.hummingbird_source(reservations)
+    else:
+        victim_builder = simulation.best_effort_source()
+
+    victim_metrics = simulation.sink.flow(1)
+    victim = CbrSource(
+        simulation.loop,
+        victim_builder,
+        simulation.entry,
+        victim_metrics,
+        rate_bps=victim_rate_bps,
+        payload_bytes=payload_bytes,
+        flow_id=1,
+        jitter=0.05,
+        rng=rng,
+    )
+
+    attacker_metrics = simulation.sink.flow(2)
+    attacker = FloodSource(
+        simulation.loop,
+        simulation.best_effort_source(),
+        simulation.entry,
+        attacker_metrics,
+        rate_bps=flood_rate_bps,
+        payload_bytes=payload_bytes,
+        flow_id=2,
+        jitter=0.02,
+        rng=rng,
+    )
+
+    victim.start(0.0)
+    attacker.start(0.1)  # the flood ramps up shortly after the victim
+    end = simulation.clock.now() + duration
+    simulation.loop.run_until(end)
+    victim.stop()
+    attacker.stop()
+
+    bottleneck = simulation.links[0] if simulation.links else None
+    utilization = bottleneck.utilization(duration) if bottleneck else 0.0
+    return CongestionResult(
+        victim=victim_metrics.summary(),
+        attacker=attacker_metrics.summary(),
+        bottleneck_utilization=utilization,
+    )

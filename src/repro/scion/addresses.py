@@ -1,0 +1,98 @@
+"""SCION addressing: ISD-AS identifiers and host addresses.
+
+SCION groups autonomous systems into *isolation domains* (ISDs).  An AS is
+globally identified by the pair (16-bit ISD, 48-bit AS number); hosts are
+identified by an AS-local address (we model 4-byte IPv4-style addresses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+ISD_BITS = 16
+AS_BITS = 48
+
+
+@dataclass(frozen=True, order=True)
+class IsdAs:
+    """A (ISD, AS) pair, e.g. ``1-ff00:0:110`` in SCION notation.
+
+    >>> str(IsdAs(1, 0xff00_0000_0110))
+    '1-ff00:0:110'
+    """
+
+    isd: int
+    asn: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.isd < 1 << ISD_BITS:
+            raise ValueError(f"ISD {self.isd} out of 16-bit range")
+        if not 0 <= self.asn < 1 << AS_BITS:
+            raise ValueError(f"AS number {self.asn} out of 48-bit range")
+
+    def pack(self) -> bytes:
+        """8-byte wire encoding: ISD (2 B) followed by AS number (6 B)."""
+        return self.isd.to_bytes(2, "big") + self.asn.to_bytes(6, "big")
+
+    @staticmethod
+    def unpack(data: bytes) -> "IsdAs":
+        if len(data) != 8:
+            raise ValueError(f"ISD-AS encoding must be 8 bytes, got {len(data)}")
+        return IsdAs(int.from_bytes(data[:2], "big"), int.from_bytes(data[2:], "big"))
+
+    def __str__(self) -> str:
+        high = (self.asn >> 32) & 0xFFFF
+        mid = (self.asn >> 16) & 0xFFFF
+        low = self.asn & 0xFFFF
+        return f"{self.isd}-{high:x}:{mid:x}:{low:x}"
+
+
+@dataclass(frozen=True, order=True)
+class HostAddr:
+    """An AS-local 4-byte host address.
+
+    >>> str(HostAddr.from_string('10.0.0.1'))
+    '10.0.0.1'
+    """
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < 1 << 32:
+            raise ValueError(f"host address {self.value} out of 32-bit range")
+
+    @staticmethod
+    def from_string(dotted: str) -> "HostAddr":
+        parts = dotted.split(".")
+        if len(parts) != 4:
+            raise ValueError(f"expected dotted quad, got {dotted!r}")
+        value = 0
+        for part in parts:
+            octet = int(part)
+            if not 0 <= octet <= 255:
+                raise ValueError(f"octet {octet} out of range in {dotted!r}")
+            value = (value << 8) | octet
+        return HostAddr(value)
+
+    def pack(self) -> bytes:
+        return self.value.to_bytes(4, "big")
+
+    @staticmethod
+    def unpack(data: bytes) -> "HostAddr":
+        if len(data) != 4:
+            raise ValueError(f"host address encoding must be 4 bytes, got {len(data)}")
+        return HostAddr(int.from_bytes(data, "big"))
+
+    def __str__(self) -> str:
+        return ".".join(str((self.value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@dataclass(frozen=True, order=True)
+class ScionAddr:
+    """A fully qualified SCION endpoint: ISD-AS plus host address."""
+
+    isd_as: IsdAs
+    host: HostAddr
+
+    def __str__(self) -> str:
+        return f"{self.isd_as},{self.host}"

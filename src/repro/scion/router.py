@@ -1,0 +1,181 @@
+"""Baseline SCION border router: standard hop-field processing (Algorithm 4).
+
+This is the best-effort data plane Hummingbird extends and the baseline of
+the paper's throughput evaluation (dashed lines in Figs. 5/14/15).  The
+router is stateless across packets: every check uses only the packet and the
+AS-local forwarding key.
+
+Processing one packet at the ingress border router of AS *i*:
+
+1. locate the current hop field via ``CurrHF``;
+2. drop if the hop field is expired;
+3. verify the chained hop-field MAC (SegID handling depends on the
+   construction-direction flag);
+4. update the SegID accumulator;
+5. advance ``CurrHF`` (twice at segment boundaries, Appendix A.5);
+6. forward out the traversal egress interface, or deliver locally.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.clock import Clock
+from repro.crypto.prf import DEFAULT_PRF_FACTORY, PrfFactory
+from repro.scion.hopfields import absolute_expiry, chain_segid, compute_hopfield_mac
+from repro.scion.packet import PacketPath, ScionPacket
+from repro.scion.paths import HopFieldData, SegmentInPath
+from repro.scion.topology import AutonomousSystem
+
+
+class Action(enum.Enum):
+    FORWARD = "forward"  # send out an egress interface, best effort
+    FORWARD_PRIORITY = "forward_priority"  # Hummingbird: reserved bandwidth
+    DELIVER = "deliver"  # destination AS reached
+    DROP = "drop"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The router's verdict for one packet."""
+
+    action: Action
+    egress_ifid: int = 0
+    reason: str = ""
+
+    @property
+    def forwarded(self) -> bool:
+        return self.action in (Action.FORWARD, Action.FORWARD_PRIORITY)
+
+
+class ScionRouter:
+    """Best-effort border router for one AS."""
+
+    def __init__(
+        self,
+        autonomous_system: AutonomousSystem,
+        clock: Clock,
+        prf_factory: PrfFactory = DEFAULT_PRF_FACTORY,
+    ) -> None:
+        self.autonomous_system = autonomous_system
+        self.clock = clock
+        self.prf_factory = prf_factory
+
+    # -- public API ---------------------------------------------------------
+
+    def process(self, packet: ScionPacket, ingress_ifid: int) -> Decision:
+        """Validate and route one packet arriving on ``ingress_ifid``.
+
+        ``ingress_ifid`` is 0 when the packet comes from inside the AS (the
+        source host handing the packet to its first border router).
+        """
+        path = packet.path
+        if path.at_end():
+            return Decision(Action.DROP, reason="path exhausted")
+        decision = self._process_hopfield(path, ingress_ifid, check_ingress=True)
+        if decision is not None:
+            return decision
+
+        # Segment boundary: traversal egress 0 but more segments follow means
+        # this AS owns the first hop field of the next segment too (A.5).
+        seg_index, local, segment, _ = self._previous(path)
+        ingress, egress = segment.traversal_interfaces(local)
+        if egress == 0 and path.curr_hf < path.num_hopfields:
+            next_seg_index, _ = path.locate(path.curr_hf)
+            if next_seg_index != seg_index + 1:
+                return Decision(Action.DROP, reason="CurrHF/SegLen mismatch at boundary")
+            path.curr_inf = next_seg_index
+            decision = self._process_hopfield(path, ingress_ifid=0, check_ingress=False)
+            if decision is not None:
+                return decision
+            seg_index, local, segment, _ = self._previous(path)
+            _, egress = segment.traversal_interfaces(local)
+
+        if egress == 0:
+            if not path.at_end():
+                return Decision(Action.DROP, reason="egress 0 before end of path")
+            return Decision(Action.DELIVER)
+        return Decision(Action.FORWARD, egress_ifid=egress)
+
+    # -- internals ----------------------------------------------------------
+
+    def _previous(self, path: PacketPath) -> tuple[int, int, SegmentInPath, HopFieldData]:
+        seg_index, local = path.locate(path.curr_hf - 1)
+        segment = path.segments[seg_index]
+        return seg_index, local, segment, segment.hopfields[local]
+
+    def _process_hopfield(
+        self, path: PacketPath, ingress_ifid: int, check_ingress: bool
+    ) -> Decision | None:
+        """Verify the current hop field and advance; None means success."""
+        seg_index, local, segment, hop = path.current()
+        if seg_index != path.curr_inf:
+            return Decision(Action.DROP, reason="CurrINF does not match CurrHF")
+
+        if check_ingress and ingress_ifid != 0:
+            expected_ingress, _ = segment.traversal_interfaces(local)
+            if expected_ingress != ingress_ifid:
+                return Decision(
+                    Action.DROP,
+                    reason=f"ingress interface {ingress_ifid} != hop field {expected_ingress}",
+                )
+
+        if absolute_expiry(segment.timestamp, hop.exp_time) < self.clock.now():
+            return Decision(Action.DROP, reason="hop field expired")
+
+        if not self.verify_and_update_segid(path, seg_index, local, hop.mac):
+            return Decision(Action.DROP, reason="hop-field MAC verification failed")
+
+        path.curr_hf += 1
+        return None
+
+    def verify_and_update_segid(
+        self, path: PacketPath, seg_index: int, local: int, packet_mac: bytes
+    ) -> bool:
+        """MAC check with direction-dependent SegID chaining.
+
+        In construction direction the SegID already holds :math:`\\beta_i`;
+        against construction the router first XORs the packet's MAC bytes to
+        recover the candidate :math:`\\beta_i` (a forged MAC produces a wrong
+        candidate, so verification fails).
+        """
+        segment = path.segments[seg_index]
+        hop = segment.hopfields[local]
+        segid = path.segids[seg_index]
+        if segment.cons_dir:
+            beta = segid
+        else:
+            beta = chain_segid(segid, packet_mac)
+        expected = compute_hopfield_mac(
+            self.autonomous_system.forwarding_key,
+            beta,
+            segment.timestamp,
+            hop.exp_time,
+            hop.cons_ingress,
+            hop.cons_egress,
+            self.prf_factory,
+        )
+        if expected != packet_mac:
+            return False
+        if segment.cons_dir:
+            path.segids[seg_index] = chain_segid(segid, expected)
+        else:
+            path.segids[seg_index] = beta
+        return True
+
+    def expected_mac(self, path: PacketPath, seg_index: int, local: int) -> bytes:
+        """Recompute the hop-field MAC for the current SegID (test helper)."""
+        segment = path.segments[seg_index]
+        hop = segment.hopfields[local]
+        segid = path.segids[seg_index]
+        beta = segid if segment.cons_dir else chain_segid(segid, hop.mac)
+        return compute_hopfield_mac(
+            self.autonomous_system.forwarding_key,
+            beta,
+            segment.timestamp,
+            hop.exp_time,
+            hop.cons_ingress,
+            hop.cons_egress,
+            self.prf_factory,
+        )

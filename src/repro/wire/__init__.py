@@ -1,0 +1,17 @@
+"""Wire-format substrate: bit packing, bandwidth classes, packet timestamps."""
+
+from repro.wire.bitfields import BitPacker, BitUnpacker
+from repro.wire.bwcls import decode as decode_bw_cls
+from repro.wire.bwcls import encode_ceil as encode_bw_ceil
+from repro.wire.bwcls import encode_floor as encode_bw_floor
+from repro.wire.timestamps import PacketTimestamp, TimestampAllocator
+
+__all__ = [
+    "BitPacker",
+    "BitUnpacker",
+    "decode_bw_cls",
+    "encode_bw_ceil",
+    "encode_bw_floor",
+    "PacketTimestamp",
+    "TimestampAllocator",
+]

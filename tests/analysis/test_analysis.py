@@ -1,0 +1,52 @@
+"""Analysis helpers: percentiles, box stats, tables, plots."""
+
+import pytest
+
+from repro.analysis import (
+    BoxStats,
+    fraction_below,
+    line_plot,
+    percentile,
+    render_table,
+)
+
+
+class TestStats:
+    def test_percentile_interpolation(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == pytest.approx(2.5)
+
+    def test_percentile_bounds(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_box_stats_ordering(self):
+        stats = BoxStats.of([float(i) for i in range(100)])
+        assert stats.p5 <= stats.q1 <= stats.median <= stats.q3 <= stats.p95
+        assert stats.count == 100
+
+    def test_fraction_below(self):
+        assert fraction_below([1.0, 2.0, 3.0, 4.0], 3.0) == pytest.approx(0.5)
+
+
+class TestRendering:
+    def test_table_alignment(self):
+        text = render_table(["name", "v"], [["long-name", "1"], ["x", "22"]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # all same width
+
+    def test_table_title(self):
+        text = render_table(["a"], [["1"]], title="Table 1")
+        assert text.startswith("Table 1")
+
+    def test_line_plot_contains_legend(self):
+        plot = line_plot({"scion": [(1, 10.0), (2, 20.0)]}, title="t")
+        assert "a = scion" in plot
+        assert "t" in plot
+
+    def test_empty_plot(self):
+        assert line_plot({}) == "(empty plot)"

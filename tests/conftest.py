@@ -1,0 +1,97 @@
+"""Shared fixtures: clocks, topologies, paths, reservations, deployments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import SimClock
+from repro.crypto.prf import PrfFactory
+from repro.hummingbird.reservation import ResInfo, grant_reservation
+from repro.netsim.scenarios import linear_path
+from repro.scion.addresses import HostAddr, ScionAddr
+from repro.scion.paths import as_crossings
+from repro.wire import bwcls
+
+BLAKE2 = PrfFactory("blake2")
+T0 = 1_700_000_000
+
+
+@pytest.fixture
+def clock():
+    return SimClock(float(T0))
+
+
+@pytest.fixture
+def chain3():
+    """(topology, path) for a 3-AS chain, BLAKE2 MACs."""
+    return linear_path(3, timestamp=T0, prf_factory=BLAKE2)
+
+
+@pytest.fixture
+def chain5():
+    return linear_path(5, timestamp=T0, prf_factory=BLAKE2)
+
+
+def grant_full_path(
+    topology,
+    path,
+    start: int,
+    duration: int = 3600,
+    bandwidth_kbps: int = 10_000,
+    prf_factory: PrfFactory = BLAKE2,
+    res_id_base: int = 0,
+):
+    """Grant a reservation at every AS crossing of ``path``."""
+    reservations = []
+    for index, crossing in enumerate(as_crossings(path)):
+        resinfo = ResInfo(
+            ingress=crossing.ingress,
+            egress=crossing.egress,
+            res_id=res_id_base + index,
+            bw_cls=bwcls.encode_ceil(bandwidth_kbps),
+            start=start,
+            duration=duration,
+        )
+        reservations.append(
+            grant_reservation(
+                crossing.isd_as,
+                topology.as_of(crossing.isd_as).secret_value,
+                resinfo,
+                prf_factory,
+            )
+        )
+    return reservations
+
+
+def addresses(path):
+    return (
+        ScionAddr(path.src, HostAddr.from_string("10.0.0.1")),
+        ScionAddr(path.dst, HostAddr.from_string("10.0.0.2")),
+    )
+
+
+def walk_path(topology, routers, packet, start_as, max_hops: int = 32):
+    """Drive a packet through per-AS routers; returns the decision list."""
+    from repro.scion.router import Action
+
+    decisions = []
+    current, ingress = start_as, 0
+    for _ in range(max_hops):
+        decision = routers[current].process(packet, ingress)
+        decisions.append(decision)
+        if decision.action in (Action.DELIVER, Action.DROP):
+            return decisions
+        interface = topology.as_of(current).interfaces[decision.egress_ifid]
+        current, ingress = interface.neighbor, interface.neighbor_ifid
+    raise AssertionError("packet did not terminate")
+
+
+@pytest.fixture(scope="session")
+def deployment3():
+    """A session-scoped market deployment over a 3-AS chain (AES keys)."""
+    from repro.controlplane import deploy_market
+    from repro.scion.topology import linear_topology
+
+    clock = SimClock(float(T0))
+    topology = linear_topology(3)
+    return deploy_market(topology, clock=clock)

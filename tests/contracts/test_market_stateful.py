@@ -1,0 +1,199 @@
+"""Stateful property test: market invariants under random operation sequences.
+
+Hypothesis drives random interleavings of buys (all four split variants),
+cancellations and re-listings against one marketplace, checking after every
+step that:
+
+* **volume conservation** — the total kbps-seconds across listed assets,
+  host-owned assets and redeemed (burned) assets never changes;
+* **money conservation** — MIST only moves between buyer coins and seller
+  coins, never appears or vanishes;
+* **custody** — every listed asset is owned by the marketplace, every
+  listing points at an existing asset.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.contracts.asset import ASSET_TYPE, REQUEST_TYPE, AssetContract, asset_units
+from repro.contracts.coin import CoinContract, coin_balance
+from repro.contracts.market import LISTING_TYPE, MarketContract
+from repro.controlplane.pki import CpPki
+from repro.ledger.accounts import COIN_TYPE, Account, sui_to_mist
+from repro.ledger.chain import Ledger
+from repro.ledger.objects import Ownership
+from repro.ledger.transactions import Command, Transaction
+from repro.scion.addresses import IsdAs
+
+GRANULARITY = 60
+ASSET_START = 0
+ASSET_EXPIRY = 3600
+ASSET_BW = 1_000_000
+MIN_BW = 100
+
+
+class MarketMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        rng = random.Random(99)
+        pki = CpPki(seed=99)
+        self.ledger = Ledger()
+        self.ledger.register_contract(CoinContract())
+        self.ledger.register_contract(AssetContract(pki))
+        self.ledger.register_contract(MarketContract())
+        self.seller = Account.generate(rng, "seller")
+        self.buyer = Account.generate(rng, "buyer")
+        cert = pki.issue_certificate(IsdAs(1, 9), self.seller.signing_key.public)
+        proof = self.seller.signing_key.sign(self.seller.address.encode(), rng)
+        token = self._run(
+            self.seller, "asset", "register_as",
+            certificate=cert, commitment=proof.commitment, response=proof.response,
+        ).returns[0]["token"]
+        self.coin = self._run(
+            self.buyer, "coin", "mint", amount=sui_to_mist(1000)
+        ).returns[0]["coin"]
+        self.marketplace = self._run(
+            self.seller, "market", "create_marketplace"
+        ).returns[0]["marketplace"]
+        self._run(self.seller, "market", "register_seller", marketplace=self.marketplace)
+        asset = self._run(
+            self.seller, "asset", "issue",
+            token=token, bandwidth_kbps=ASSET_BW, start=ASSET_START,
+            expiry=ASSET_EXPIRY, interface=1, is_ingress=True,
+            granularity=GRANULARITY, min_bandwidth_kbps=MIN_BW,
+        ).returns[0]["asset"]
+        self._run(
+            self.seller, "market", "create_listing",
+            marketplace=self.marketplace, asset=asset, price_micromist_per_unit=50,
+        )
+        self.initial_volume = ASSET_BW * (ASSET_EXPIRY - ASSET_START)
+        self.initial_money = coin_balance(self.ledger, self.buyer.address)
+        self.burned_volume = 0
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _run(self, account, contract, function, **args):
+        effects = self.ledger.execute(
+            Transaction(account.address, [Command(contract, function, args)])
+        )
+        assert effects.ok, f"{function}: {effects.error}"
+        return effects
+
+    def _try(self, account, contract, function, **args):
+        return self.ledger.execute(
+            Transaction(account.address, [Command(contract, function, args)])
+        )
+
+    def _listings(self):
+        return [
+            obj for obj in self.ledger.objects.values()
+            if obj.type_tag == LISTING_TYPE
+        ]
+
+    # -- rules -----------------------------------------------------------------
+
+    @rule(
+        start_slot=st.integers(0, 58),
+        slots=st.integers(1, 10),
+        bw=st.sampled_from([100, 4_000, 50_000, 999_900]),
+    )
+    def buy_rectangle(self, start_slot, slots, bw):
+        start = ASSET_START + start_slot * GRANULARITY
+        expiry = min(start + slots * GRANULARITY, ASSET_EXPIRY)
+        for listing in self._listings():
+            asset = self.ledger.objects.get(listing.payload["asset"])
+            if asset is None:
+                continue
+            payload = asset.payload
+            if not (payload["start"] <= start and expiry <= payload["expiry"]):
+                continue
+            if payload["bandwidth_kbps"] < bw:
+                continue
+            remainder = payload["bandwidth_kbps"] - bw
+            if 0 < remainder < MIN_BW:
+                continue
+            self._try(
+                self.buyer, "market", "buy",
+                marketplace=self.marketplace, listing=listing.object_id,
+                start=start, expiry=expiry, bandwidth_kbps=bw, payment=self.coin,
+            )
+            return
+
+    @rule()
+    def cancel_and_relist(self):
+        listings = self._listings()
+        if not listings:
+            return
+        listing = listings[0]
+        cancelled = self._try(
+            self.seller, "market", "cancel_listing",
+            marketplace=self.marketplace, listing=listing.object_id,
+        )
+        if not cancelled.ok:
+            return
+        self._run(
+            self.seller, "market", "create_listing",
+            marketplace=self.marketplace, asset=cancelled.returns[0]["asset"],
+            price_micromist_per_unit=75,
+        )
+
+    @rule()
+    def buyer_fuses_adjacent_assets(self):
+        owned = self.ledger.objects_owned_by(self.buyer.address, ASSET_TYPE)
+        for a in owned:
+            for b in owned:
+                if a is b:
+                    continue
+                same = all(
+                    a.payload[k] == b.payload[k]
+                    for k in ("interface", "is_ingress", "bandwidth_kbps")
+                )
+                if same and a.payload["expiry"] == b.payload["start"]:
+                    self._try(
+                        self.buyer, "asset", "fuse_time",
+                        first=a.object_id, second=b.object_id,
+                    )
+                    return
+
+    # -- invariants --------------------------------------------------------------
+
+    @invariant()
+    def volume_is_conserved(self):
+        if not hasattr(self, "ledger"):
+            return
+        total = sum(
+            asset_units(obj.payload)
+            for obj in self.ledger.objects.values()
+            if obj.type_tag == ASSET_TYPE
+        )
+        assert total == self.initial_volume
+
+    @invariant()
+    def money_is_conserved(self):
+        if not hasattr(self, "ledger"):
+            return
+        total = sum(
+            obj.payload["balance"]
+            for obj in self.ledger.objects.values()
+            if obj.type_tag == COIN_TYPE
+        )
+        assert total == self.initial_money
+
+    @invariant()
+    def listings_are_consistent(self):
+        if not hasattr(self, "ledger"):
+            return
+        for listing in self._listings():
+            asset = self.ledger.objects.get(listing.payload["asset"])
+            assert asset is not None, "listing points at a missing asset"
+            assert asset.ownership is Ownership.OWNED
+            assert asset.owner == self.marketplace
+
+
+MarketMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=12, deadline=None
+)
+TestMarketStateful = MarketMachine.TestCase

@@ -1,0 +1,90 @@
+"""Reservation manager: rolling-window coverage without lapses."""
+
+import pytest
+
+from tests.conftest import T0
+
+from repro.clock import SimClock
+from repro.controlplane import deploy_market
+from repro.controlplane.manager import ReservationManager
+from repro.scion import PathLookup, as_crossings, linear_topology, run_beaconing
+
+
+@pytest.fixture(scope="module")
+def world():
+    clock = SimClock(float(T0))
+    topology = linear_topology(3)
+    deployment = deploy_market(topology, clock=clock, asset_duration=14_400)
+    store = run_beaconing(topology, timestamp=T0)
+    path = PathLookup(store).find_paths(
+        topology.ases[2].isd_as, topology.ases[0].isd_as
+    )[0]
+    return deployment, as_crossings(path), clock
+
+
+def make_manager(world, **kwargs):
+    deployment, crossings, _ = world
+    host = deployment.new_host(funding_sui=200)
+    defaults = dict(window_seconds=600, renew_margin=60.0)
+    defaults.update(kwargs)
+    return ReservationManager(deployment, host, crossings, 4000, **defaults)
+
+
+class TestManager:
+    def test_first_lease_covers_the_window(self, world):
+        _, _, clock = world
+        manager = make_manager(world)
+        start = int(clock.now()) + 120
+        lease = manager.start(start)
+        assert lease.start <= start
+        assert lease.expiry >= start + 600
+        assert len(lease.reservations) == 3
+
+    def test_no_renewal_outside_margin(self, world):
+        _, _, clock = world
+        manager = make_manager(world)
+        start = int(clock.now()) + 120
+        manager.start(start)
+        assert manager.tick(start + 100) is None
+        assert len(manager.leases) == 1
+
+    def test_renewal_inside_margin_is_seamless(self, world):
+        _, _, clock = world
+        manager = make_manager(world)
+        start = int(clock.now()) + 120
+        first = manager.start(start)
+        renewed = manager.tick(first.expiry - 30)
+        assert renewed is not None
+        # Continuous coverage: the new lease starts where the old one ends.
+        assert renewed.start <= first.expiry
+        assert manager.coverage_until() >= first.expiry + 600 - 60
+
+    def test_active_reservations_switch_over(self, world):
+        _, _, clock = world
+        manager = make_manager(world)
+        start = int(clock.now()) + 120
+        first = manager.start(start)
+        second = manager.tick(first.expiry - 30)
+        assert manager.active_reservations(first.expiry - 120) == first.reservations
+        assert manager.active_reservations(first.expiry + 60) == second.reservations
+
+    def test_lapse_detection(self, world):
+        manager = make_manager(world)
+        _, _, clock = world
+        start = int(clock.now()) + 120
+        lease = manager.start(start)
+        with pytest.raises(RuntimeError):
+            manager.tick(lease.expiry + 1)
+
+    def test_price_accumulates(self, world):
+        _, _, clock = world
+        manager = make_manager(world)
+        start = int(clock.now()) + 120
+        first = manager.start(start)
+        manager.tick(first.expiry - 30)
+        assert manager.total_price_mist > 0
+        assert len(manager.leases) == 2
+
+    def test_bad_parameters_rejected(self, world):
+        with pytest.raises(ValueError):
+            make_manager(world, window_seconds=60, renew_margin=120.0)

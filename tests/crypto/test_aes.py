@@ -1,0 +1,78 @@
+"""AES-128 against FIPS-197 / SP 800-38A vectors plus structural properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES128, SBOX, INV_SBOX, expand_key, xor_bytes
+
+
+class TestKnownVectors:
+    def test_fips197_appendix_c(self):
+        cipher = AES128(bytes.fromhex("000102030405060708090a0b0c0d0e0f"))
+        ciphertext = cipher.encrypt_block(bytes.fromhex("00112233445566778899aabbccddeeff"))
+        assert ciphertext.hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_sp800_38a_ecb_vectors(self):
+        cipher = AES128(bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"))
+        vectors = [
+            ("6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97"),
+            ("ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf"),
+            ("30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688"),
+            ("f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4"),
+        ]
+        for plaintext, expected in vectors:
+            assert cipher.encrypt_block(bytes.fromhex(plaintext)).hex() == expected
+
+    def test_zero_key_zero_block(self):
+        assert (
+            AES128(bytes(16)).encrypt_block(bytes(16)).hex()
+            == "66e94bd4ef8a2c3b884cfa59ca342b2e"
+        )
+
+
+class TestStructure:
+    def test_sbox_is_a_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+    def test_inverse_sbox_inverts(self):
+        for x in range(256):
+            assert INV_SBOX[SBOX[x]] == x
+
+    def test_key_schedule_length(self):
+        assert len(expand_key(bytes(16))) == 44
+
+    def test_key_schedule_first_words_are_the_key(self):
+        key = bytes(range(16))
+        words = expand_key(key)
+        for i in range(4):
+            assert words[i] == int.from_bytes(key[4 * i : 4 * i + 4], "big")
+
+    def test_rejects_wrong_key_size(self):
+        with pytest.raises(ValueError):
+            AES128(bytes(15))
+
+    def test_rejects_wrong_block_size(self):
+        with pytest.raises(ValueError):
+            AES128(bytes(16)).encrypt_block(bytes(8))
+
+
+class TestRoundTrip:
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    def test_decrypt_inverts_encrypt(self, key, block):
+        cipher = AES128(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @given(st.binary(min_size=16, max_size=16))
+    def test_encryption_changes_the_block(self, block):
+        cipher = AES128(b"\x01" * 16)
+        assert cipher.encrypt_block(block) != block
+
+
+class TestXorBytes:
+    def test_xor(self):
+        assert xor_bytes(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            xor_bytes(b"\x00", b"\x00\x00")

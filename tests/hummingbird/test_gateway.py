@@ -1,0 +1,101 @@
+"""Gateway aggregation (§5.4): admission control and conformant output."""
+
+import pytest
+
+from tests.conftest import BLAKE2, T0, addresses, grant_full_path, walk_path
+
+from repro.hummingbird.gateway import AdmissionError, HummingbirdGateway
+from repro.hummingbird.router import HummingbirdRouter
+from repro.scion.addresses import HostAddr, ScionAddr
+from repro.scion.router import Action
+
+
+@pytest.fixture
+def gateway(chain3, clock):
+    topology, path = chain3
+    reservations = grant_full_path(
+        topology, path, start=T0 - 5, bandwidth_kbps=10_000
+    )
+    src, dst = addresses(path)
+    return (
+        HummingbirdGateway(src, dst, path, reservations, clock, BLAKE2),
+        topology,
+        path,
+        clock,
+    )
+
+
+def host(n):
+    return ScionAddr.__new__(ScionAddr)  # placeholder; gateway only records it
+
+
+class TestAdmission:
+    def test_admits_within_aggregate(self, gateway):
+        gw, *_ = gateway
+        # The 10 Mbps grant rounds up to the next bandwidth class (10240).
+        aggregate = gw.aggregate_kbps
+        flow = gw.admit(None, 4_000)
+        assert flow.rate_kbps == 4_000
+        assert gw.available_kbps == aggregate - 4_000
+
+    def test_rejects_oversubscription(self, gateway):
+        gw, *_ = gateway
+        gw.admit(None, 6_000)
+        gw.admit(None, gw.available_kbps)
+        with pytest.raises(AdmissionError):
+            gw.admit(None, 1_000)
+        assert gw.stats.rejected_flows == 1
+
+    def test_release_frees_capacity(self, gateway):
+        gw, *_ = gateway
+        aggregate = gw.aggregate_kbps
+        flow = gw.admit(None, 8_000)
+        gw.release(flow.flow_id)
+        assert gw.available_kbps == aggregate
+        gw.admit(None, aggregate)  # now fits exactly
+
+    def test_invalid_rate_rejected(self, gateway):
+        gw, *_ = gateway
+        with pytest.raises(ValueError):
+            gw.admit(None, 0)
+
+
+class TestConformance:
+    def test_gateway_traffic_never_demoted_in_network(self, gateway):
+        """Locally policed aggregate passes every on-path policer."""
+        gw, topology, path, clock = gateway
+        flow = gw.admit(None, 5_000)
+        routers = {
+            a.isd_as: HummingbirdRouter(a, clock, BLAKE2) for a in topology.ases
+        }
+        sent = 0
+        for _ in range(100):
+            packet = gw.send(flow.flow_id, b"x" * 300)
+            clock.advance(0.001)
+            if packet is None:
+                continue  # locally demoted; never reaches the network
+            sent += 1
+            decisions = walk_path(topology, routers, packet, path.src)
+            assert decisions[-1].action is Action.DELIVER
+            assert all(
+                d.action is Action.FORWARD_PRIORITY for d in decisions[:-1]
+            ), "gateway output must always be conformant"
+        assert sent > 0
+        # The flow exceeded its committed 5 Mbps (300B/ms ~ 2.6 Mbps wire ->
+        # actually conformant; check stats consistency instead).
+        assert gw.stats.sent_packets == sent
+
+    def test_over_rate_flow_demoted_locally(self, gateway):
+        gw, _, _, clock = gateway
+        flow = gw.admit(None, 500)  # 0.5 Mbps commitment
+        demoted = 0
+        for _ in range(50):  # ~450B wire back to back >> 0.5 Mbps
+            if gw.send(flow.flow_id, b"y" * 300) is None:
+                demoted += 1
+        assert demoted > 0
+        assert gw.stats.locally_demoted == demoted
+
+    def test_unknown_flow_rejected(self, gateway):
+        gw, *_ = gateway
+        with pytest.raises(KeyError):
+            gw.send(99, b"z")

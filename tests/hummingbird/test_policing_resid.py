@@ -1,0 +1,180 @@
+"""Traffic policing (Algorithm 1) and ResID interval colouring (§4.4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hummingbird.policing import (
+    PerInterfacePolicer,
+    PolicingVerdict,
+    TokenBucketArray,
+    max_packet_size_for,
+)
+from repro.hummingbird.resid import (
+    CapacityExhausted,
+    FirstFitColoring,
+    Interval,
+    ResIdAllocator,
+    policing_array_bytes,
+)
+from repro.wire import bwcls
+
+
+class TestTokenBucket:
+    def test_admits_traffic_within_rate(self):
+        bucket = TokenBucketArray(capacity=8, burst_time=0.05)
+        now = 1000.0
+        # 1 Mbps reservation, 500 B packets every 4 ms = 1 Mbps exactly.
+        for i in range(100):
+            verdict = bucket.monitor(0, 1000, 500, now + i * 0.004)
+            assert verdict is PolicingVerdict.FWD_FLYOVER
+
+    def test_demotes_sustained_overuse(self):
+        bucket = TokenBucketArray(capacity=8, burst_time=0.05)
+        now = 1000.0
+        verdicts = [bucket.monitor(0, 1000, 500, now) for _ in range(100)]
+        assert PolicingVerdict.FWD_BEST_EFFORT in verdicts
+        admitted = sum(1 for v in verdicts if v is PolicingVerdict.FWD_FLYOVER)
+        # 50 ms burst at 1 Mbps = 6250 bytes = 12.5 packets of 500 B.
+        assert 10 <= admitted <= 14
+
+    def test_bucket_refills_over_time(self):
+        bucket = TokenBucketArray(capacity=8, burst_time=0.05)
+        for _ in range(50):
+            bucket.monitor(0, 1000, 500, 1000.0)
+        assert bucket.monitor(0, 1000, 500, 1001.0) is PolicingVerdict.FWD_FLYOVER
+
+    def test_out_of_range_res_id_is_best_effort(self):
+        bucket = TokenBucketArray(capacity=4)
+        assert bucket.monitor(99, 1000, 500, 0.0) is PolicingVerdict.FWD_BEST_EFFORT
+
+    def test_memory_is_8_bytes_per_res_id(self):
+        assert TokenBucketArray(capacity=100_000).memory_bytes == 800_000  # §7.1
+
+    @settings(max_examples=30)
+    @given(
+        bw_kbps=st.integers(min_value=100, max_value=1_000_000),
+        pkt_len=st.integers(min_value=64, max_value=1500),
+        gaps_ms=st.lists(st.integers(0, 20), min_size=20, max_size=60),
+    )
+    def test_admitted_bytes_never_exceed_rate_plus_burst(self, bw_kbps, pkt_len, gaps_ms):
+        """The policing invariant: admitted <= BW * elapsed + BW * BurstTime."""
+        burst_time = 0.05
+        bucket = TokenBucketArray(capacity=4, burst_time=burst_time)
+        now = 1_000.0
+        admitted_bytes = 0
+        start = now
+        for gap in gaps_ms:
+            now += gap / 1000.0
+            if bucket.monitor(1, bw_kbps, pkt_len, now) is PolicingVerdict.FWD_FLYOVER:
+                admitted_bytes += pkt_len
+        elapsed = now - start
+        budget = bw_kbps * 1000 / 8 * (elapsed + burst_time) + pkt_len
+        assert admitted_bytes <= budget
+
+    def test_max_packet_size_examples(self):
+        # §4.4: below ~240 kbps the 50 ms burst admits less than 1500 B.
+        assert max_packet_size_for(240) == 1500
+        assert max_packet_size_for(100) < 1500
+        assert max_packet_size_for(4000) > 1500
+
+
+class TestPerInterfacePolicer:
+    def test_arrays_are_lazy_per_interface(self):
+        policer = PerInterfacePolicer(capacity=16)
+        policer.monitor(1, 0, bwcls.encode_ceil(1000), 500, 0.0)
+        policer.monitor(2, 0, bwcls.encode_ceil(1000), 500, 0.0)
+        assert policer.memory_bytes == 2 * 16 * 8
+
+    def test_same_res_id_different_interfaces_independent(self):
+        policer = PerInterfacePolicer(capacity=16)
+        cls = bwcls.encode_ceil(1000)
+        for _ in range(50):
+            policer.monitor(1, 0, cls, 500, 0.0)
+        # Interface 1's bucket for ResID 0 is exhausted; interface 2's is not.
+        assert policer.monitor(2, 0, cls, 500, 0.0) is PolicingVerdict.FWD_FLYOVER
+
+
+class TestFirstFit:
+    def test_non_overlapping_reuse_color(self):
+        coloring = FirstFitColoring()
+        assert coloring.assign(Interval(0, 10)) == 0
+        assert coloring.assign(Interval(10, 20)) == 0
+        assert coloring.assign(Interval(5, 15)) == 1
+
+    def test_release_frees_color(self):
+        coloring = FirstFitColoring()
+        color = coloring.assign(Interval(0, 10))
+        coloring.release(color, Interval(0, 10))
+        assert coloring.assign(Interval(5, 8)) == color
+
+    def test_release_unknown_interval(self):
+        coloring = FirstFitColoring()
+        coloring.assign(Interval(0, 10))
+        with pytest.raises(KeyError):
+            coloring.release(0, Interval(1, 2))
+
+    @settings(max_examples=30)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 500), st.integers(1, 100)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_coloring_is_always_valid(self, raw_intervals):
+        """No two overlapping intervals ever share a colour (= ResID)."""
+        coloring = FirstFitColoring()
+        assigned: list[tuple[Interval, int]] = []
+        for start, length in raw_intervals:
+            interval = Interval(start, start + length)
+            color = coloring.assign(interval)
+            for other, other_color in assigned:
+                if interval.overlaps(other):
+                    assert color != other_color
+            assigned.append((interval, color))
+
+    @settings(max_examples=20)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 300), st.integers(1, 50)),
+            min_size=5,
+            max_size=50,
+        )
+    )
+    def test_first_fit_competitiveness_bound(self, raw_intervals):
+        """Colours used stay within the known First-Fit bound (~8x optimal)."""
+        coloring = FirstFitColoring()
+        intervals = [Interval(s, s + l) for s, l in raw_intervals]
+        for interval in intervals:
+            coloring.assign(interval)
+        # Optimal = max clique = max overlap depth.
+        events = sorted(
+            [(i.start, 1) for i in intervals] + [(i.end, -1) for i in intervals]
+        )
+        depth = max_depth = 0
+        for _, delta in events:
+            depth += delta
+            max_depth = max(max_depth, depth)
+        assert coloring.colors_in_use <= 8 * max_depth
+
+
+class TestResIdAllocator:
+    def test_capacity_enforced(self):
+        allocator = ResIdAllocator(capacity=2)
+        allocator.allocate(0, 10)
+        allocator.allocate(0, 10)
+        with pytest.raises(CapacityExhausted):
+            allocator.allocate(0, 10)
+
+    def test_release_enables_reuse(self):
+        allocator = ResIdAllocator(capacity=1)
+        res_id = allocator.allocate(0, 10)
+        allocator.release(res_id, 0, 10)
+        assert allocator.allocate(2, 12) == res_id
+
+    def test_paper_sizing_examples(self):
+        # §4.4 example 1: 100 Gbps / 100 kbps -> 3e6 ResIDs, 24 MB array.
+        assert policing_array_bytes(100_000_000, 100) == 24_000_000
+        # Example 2: 100 Gbps / 4 Mbps -> 75 000 ResIDs, 600 kB array.
+        assert policing_array_bytes(100_000_000, 4_000) == 600_000

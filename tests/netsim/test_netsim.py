@@ -1,0 +1,135 @@
+"""Network simulator: event loop, links, metrics, and the QoS experiment."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.netsim.events import EventLoop
+from repro.netsim.link import Link
+from repro.netsim.metrics import FlowMetrics
+from repro.netsim.scenarios import congestion_experiment, linear_path
+
+
+class TestEventLoop:
+    def test_events_run_in_time_order(self):
+        loop = EventLoop(SimClock(0.0))
+        order = []
+        loop.schedule(2.0, lambda: order.append("b"))
+        loop.schedule(1.0, lambda: order.append("a"))
+        loop.schedule(3.0, lambda: order.append("c"))
+        loop.run_until(10.0)
+        assert order == ["a", "b", "c"]
+
+    def test_run_until_stops_at_boundary(self):
+        loop = EventLoop(SimClock(0.0))
+        fired = []
+        loop.schedule(5.0, lambda: fired.append(1))
+        loop.run_until(4.0)
+        assert not fired and loop.now == 4.0
+        loop.run_until(6.0)
+        assert fired
+
+    def test_past_scheduling_rejected(self):
+        loop = EventLoop(SimClock(10.0))
+        with pytest.raises(ValueError):
+            loop.schedule(-1.0, lambda: None)
+
+    def test_cascading_events(self):
+        loop = EventLoop(SimClock(0.0))
+        hits = []
+
+        def chain(n):
+            hits.append(n)
+            if n < 5:
+                loop.schedule(0.1, lambda: chain(n + 1))
+
+        loop.schedule(0.0, lambda: chain(0))
+        loop.run_until(1.0)
+        assert hits == [0, 1, 2, 3, 4, 5]
+
+
+class TestLink:
+    def test_serialization_delay(self):
+        loop = EventLoop(SimClock(0.0))
+        link = Link(loop, rate_bps=8000, propagation_delay=0.5)  # 1 B/ms
+        arrivals = []
+        link.send("pkt", 100, priority=False, deliver=lambda p: arrivals.append(loop.now))
+        loop.run_until(10.0)
+        # 100 B at 1 kB/s = 0.1 s transmission + 0.5 s propagation.
+        assert arrivals == [pytest.approx(0.6)]
+
+    def test_strict_priority_ordering(self):
+        loop = EventLoop(SimClock(0.0))
+        link = Link(loop, rate_bps=8000, propagation_delay=0.0)
+        order = []
+        # First packet occupies the transmitter, then one BE + one priority
+        # queue behind it: the priority packet must transmit first.
+        link.send("first", 100, False, lambda p: order.append(p))
+        link.send("be", 100, False, lambda p: order.append(p))
+        link.send("prio", 100, True, lambda p: order.append(p))
+        loop.run_until(10.0)
+        assert order == ["first", "prio", "be"]
+
+    def test_per_class_buffers(self):
+        loop = EventLoop(SimClock(0.0))
+        link = Link(loop, rate_bps=80, buffer_bytes=150)
+        for _ in range(10):
+            link.send("be", 100, False, lambda p: None)
+        assert link.stats.dropped_best_effort > 0
+        accepted = link.send("prio", 100, True, lambda p: None)
+        assert accepted  # the flood did not consume the priority buffer
+
+    def test_utilization(self):
+        loop = EventLoop(SimClock(0.0))
+        link = Link(loop, rate_bps=800, propagation_delay=0.0)
+        link.send("p", 100, False, lambda p: None)  # 1 s transmission
+        loop.run_until(2.0)
+        assert link.utilization(2.0) == pytest.approx(0.5)
+
+
+class TestMetrics:
+    def test_goodput_and_loss(self):
+        metrics = FlowMetrics(1)
+        metrics.record_sent(1000, 0.0)
+        metrics.record_sent(1000, 1.0)
+        metrics.record_received(1000, 0.0, 0.5)
+        assert metrics.loss_rate == pytest.approx(0.5)
+        assert metrics.goodput_bps(duration=1.0) == pytest.approx(8000)
+
+    def test_percentiles(self):
+        metrics = FlowMetrics(1)
+        for i in range(10):
+            metrics.record_sent(10, float(i))
+            metrics.record_received(10, float(i), float(i) + (i + 1) / 100)
+        assert metrics.latency_percentile(0) == pytest.approx(0.01)
+        assert metrics.latency_percentile(100) == pytest.approx(0.10)
+
+
+class TestQosExperiment:
+    def test_reservation_shields_from_flood(self):
+        """Property D2: reserved goodput survives, best effort collapses."""
+        topology, path = linear_path(3)
+        unprotected = congestion_experiment(
+            topology, path, protected=False, duration=1.5
+        )
+        protected = congestion_experiment(
+            topology, path, protected=True, duration=1.5
+        )
+        assert protected.victim["goodput_mbps"] > 1.8  # sending at 2 Mbps
+        assert protected.victim["loss_rate"] < 0.05
+        assert unprotected.victim["goodput_mbps"] < 1.0
+        assert unprotected.victim["loss_rate"] > 0.3
+        # Priority traffic also sees far lower queueing delay.
+        assert protected.victim["p50_ms"] < unprotected.victim["p50_ms"] / 2
+
+    def test_unused_reservation_leaves_bandwidth_to_best_effort(self):
+        """§4.3: unused reserved bandwidth is not wasted."""
+        topology, path = linear_path(3)
+        result = congestion_experiment(
+            topology, path, protected=True,
+            victim_rate_bps=500_000.0,  # reserves more than it sends
+            flood_rate_bps=20_000_000.0,
+            link_rate_bps=10_000_000.0,
+            duration=1.5,
+        )
+        # The flood still gets ~ the remaining capacity of the bottleneck.
+        assert result.attacker["goodput_mbps"] > 8.0

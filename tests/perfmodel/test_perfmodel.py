@@ -1,0 +1,126 @@
+"""Throughput model: the shape checks behind Figures 5, 14 and 15."""
+
+import pytest
+
+from repro.perfmodel import papertimings as paper
+from repro.perfmodel.measure import measure_router, measure_source
+from repro.perfmodel.scaling import (
+    ThroughputModel,
+    fig14_generation_series,
+    fig15_singlecore_series,
+    fig5_forwarding_series,
+    wire_bytes,
+)
+
+
+class TestPaperTimings:
+    def test_table3_totals(self):
+        assert paper.SCION_FORWARD_NS == 123
+        assert paper.HUMMINGBIRD_EXTRA_NS == 185
+        assert paper.HUMMINGBIRD_FORWARD_NS == 308
+
+    def test_table4_totals(self):
+        # 107 + 201 + 171 + 15 = 494 (500 B), +25 -> 519 (1500 B)
+        assert paper.hummingbird_generation_ns(4, 500) == pytest.approx(494)
+        assert paper.hummingbird_generation_ns(4, 1500) == pytest.approx(519)
+        assert paper.scion_generation_ns(4, 500) == pytest.approx(293)
+
+
+class TestWireBytes:
+    def test_hummingbird_overhead_is_8_bytes_per_reserved_hop(self):
+        for hops in (1, 4, 16):
+            hb = wire_bytes(hops, 500, hummingbird=True)
+            scion = wire_bytes(hops, 500, hummingbird=False)
+            assert hb - scion == 8 * hops + 8  # + meta-header extension
+
+    def test_partial_flyovers(self):
+        full = wire_bytes(4, 500, True)
+        partial = wire_bytes(4, 500, True, flyover_hops=2)
+        assert full - partial == 2 * 8
+
+
+class TestFigure5Shape:
+    def test_line_rate_with_4_cores_at_1500B(self):
+        model = ThroughputModel(paper.HUMMINGBIRD_FORWARD_NS)
+        packet = wire_bytes(4, 1500, True)
+        assert model.throughput_gbps(4, packet) == pytest.approx(160.0)
+        assert model.throughput_gbps(2, packet) < 160.0
+
+    def test_100B_needs_about_32_cores(self):
+        model = ThroughputModel(paper.HUMMINGBIRD_FORWARD_NS)
+        packet = wire_bytes(4, 100, True)
+        cores = model.cores_for_line_rate(packet)
+        assert 24 <= cores <= 40
+
+    def test_scion_dominates_hummingbird_below_saturation(self):
+        series = fig5_forwarding_series()
+        for payload in (100, 500):
+            for (hb_cores, hb), (sc_cores, sc) in zip(
+                series[("hummingbird", payload)], series[("scion", payload)]
+            ):
+                assert hb_cores == sc_cores
+                assert sc >= hb * 0.99  # SCION never slower
+
+    def test_throughput_monotone_in_cores_until_cap(self):
+        series = fig5_forwarding_series()
+        for values in series.values():
+            gbps = [v for _, v in values]
+            assert all(b >= a for a, b in zip(gbps, gbps[1:]))
+            assert max(gbps) <= 160.0
+
+
+class TestFigure14And15Shape:
+    def test_fewer_hops_generate_faster(self):
+        series = fig15_singlecore_series()
+        at_500 = {
+            hops: dict(series[("hummingbird", hops)])[500] for hops in (1, 4, 16)
+        }
+        assert at_500[1] > at_500[4] > at_500[16]
+
+    def test_paper_datapoint_h4_1kB(self):
+        """§B.3: h=4, 1 kB payload -> 17.90 (HB) vs 28.64 (SCION) Gbps."""
+        series = fig15_singlecore_series(payloads=(1000,))
+        hb = dict(series[("hummingbird", 4)])[1000]
+        scion = dict(series[("scion", 4)])[1000]
+        assert hb == pytest.approx(17.9, rel=0.10)
+        assert scion == pytest.approx(28.6, rel=0.10)
+
+    def test_paper_datapoint_h4_100B(self):
+        """§B.3: 100 B payloads -> 4.65 vs 7.70 Gbps.
+
+        The model is within ~20 % here: for tiny packets the testbed's
+        per-packet wire overhead (L1 framing, which we do not model) is a
+        large fraction of the packet.  At 1000 B (previous test) the model
+        matches to ~1 %.
+        """
+        series = fig15_singlecore_series(payloads=(100,))
+        assert dict(series[("hummingbird", 4)])[100] == pytest.approx(4.65, rel=0.25)
+        assert dict(series[("scion", 4)])[100] == pytest.approx(7.70, rel=0.35)
+
+    def test_32_cores_reach_line_rate_at_500B(self):
+        """Fig. 14: 32 cores deliver 160 Gbps for 500 B payloads."""
+        series = fig14_generation_series()
+        for hops in (1, 2, 4, 8):
+            curve = dict(series[("hummingbird", hops)])
+            assert curve[32] == pytest.approx(160.0)
+
+
+class TestMeasurements:
+    def test_router_measurement_structure(self):
+        measured = measure_router(packets=200, prf_backend="blake2")
+        assert measured.hummingbird_process_ns > measured.scion_process_ns
+        assert measured.hummingbird_overhead_ns > 0
+        assert set(measured.steps) >= {
+            "Recompute SCION hop field MAC",
+            "Compute authentication key (A_i)",
+            "Check for overuse",
+        }
+
+    def test_source_measurement_scales_with_hops(self):
+        fast = measure_source(hops=2, iterations=150, prf_backend="blake2")
+        slow = measure_source(hops=6, iterations=150, prf_backend="blake2")
+        assert slow.hummingbird_generation_ns > fast.hummingbird_generation_ns
+
+    def test_hummingbird_generation_costs_more_than_scion(self):
+        measured = measure_source(hops=4, iterations=150, prf_backend="blake2")
+        assert measured.hummingbird_generation_ns > measured.scion_generation_ns
