@@ -1,0 +1,126 @@
+"""Admission throughput: decisions/sec against loaded capacity calendars.
+
+The admission hot path must keep up with market-scale request rates: an AS
+fielding batch purchases decides thousands of windows per poll.  This bench
+loads calendars with 10k..1M concurrent reservations (bulk-built via
+``commit_batch``) and measures
+
+* the **vectorized bulk path** (``bulk_admissible``): one numpy pass over a
+  whole batch of windows — the acceptance bar is >= 100k decisions/sec;
+* the **scalar path** (``peak_commitment`` per window) for comparison;
+* sequential **FCFS admit** throughput (screen + commit).
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_admission.py -q
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import report
+
+from repro.admission import CapacityCalendar, FirstComeFirstServed
+from repro.admission.policy import AdmissionRequest
+from repro.analysis import render_comparison
+
+HORIZON = 1_000_000.0  # seconds of calendar time the reservations spread over
+CAPACITY_KBPS = 100_000_000  # 100 Gbps interface
+QUERY_BATCH = 200_000
+MIN_BULK_DECISIONS_PER_SEC = 100_000
+
+
+def _loaded_calendar(num_reservations: int, seed: int = 7) -> CapacityCalendar:
+    rng = np.random.default_rng(seed)
+    calendar = CapacityCalendar(CAPACITY_KBPS)
+    starts = rng.uniform(0, HORIZON, num_reservations)
+    durations = rng.uniform(60, 7200, num_reservations)
+    bandwidths = rng.integers(100, 4000, num_reservations)
+    calendar.commit_batch(bandwidths, starts, starts + durations, track=False)
+    return calendar
+
+
+def _query_windows(count: int, seed: int = 11):
+    rng = np.random.default_rng(seed)
+    starts = rng.uniform(0, HORIZON, count)
+    return starts, starts + rng.uniform(60, 7200, count)
+
+
+def _decisions_per_sec(callable_, decisions: int) -> float:
+    began = time.perf_counter()
+    callable_()
+    elapsed = time.perf_counter() - began
+    return decisions / elapsed
+
+
+def test_bench_bulk_admission_report():
+    rows = []
+    bulk_rates = {}
+    for size in (10_000, 100_000, 1_000_000):
+        calendar = _loaded_calendar(size)
+        starts, ends = _query_windows(QUERY_BATCH)
+        calendar.bulk_peak(starts[:10], ends[:10])  # compile outside the timer
+        bulk = _decisions_per_sec(
+            lambda: calendar.bulk_admissible(4000, starts, ends), QUERY_BATCH
+        )
+        scalar_n = 2_000
+        scalar = _decisions_per_sec(
+            lambda: [
+                calendar.peak_commitment(s, e)
+                for s, e in zip(starts[:scalar_n], ends[:scalar_n])
+            ],
+            scalar_n,
+        )
+        bulk_rates[size] = bulk
+        rows.append(
+            [
+                f"{size:,}",
+                f"{calendar.boundary_count:,}",
+                f"{bulk:,.0f}",
+                f"{scalar:,.0f}",
+                f"{bulk / scalar:.0f}x",
+            ]
+        )
+    table = render_comparison(
+        ["reservations", "boundaries", "bulk dec/s", "scalar dec/s", "speedup"],
+        rows,
+        title="Admission decisions/sec vs calendar load "
+        f"({QUERY_BATCH:,}-window batches, 100 Gbps interface)",
+        note="bulk = vectorized searchsorted+reduceat over the compiled step "
+        "function; scalar = per-window bisect.",
+    )
+    report("bench_admission", table)
+    assert min(bulk_rates.values()) >= MIN_BULK_DECISIONS_PER_SEC, bulk_rates
+
+
+def test_bench_bulk_admissible(benchmark):
+    calendar = _loaded_calendar(100_000)
+    starts, ends = _query_windows(QUERY_BATCH)
+    result = benchmark(lambda: calendar.bulk_admissible(4000, starts, ends))
+    assert result.shape == starts.shape
+
+
+def test_bench_scalar_peak(benchmark):
+    calendar = _loaded_calendar(100_000)
+    starts, ends = _query_windows(512)
+    benchmark(
+        lambda: [calendar.peak_commitment(s, e) for s, e in zip(starts, ends)]
+    )
+
+
+def test_bench_fcfs_sequential_admit(benchmark):
+    """Screen-and-commit throughput for a policy admitting live requests."""
+    starts, ends = _query_windows(512)
+    requests = [
+        AdmissionRequest(4000, float(s), float(e), buyer=f"b{i}")
+        for i, (s, e) in enumerate(zip(starts, ends))
+    ]
+    policy = FirstComeFirstServed()
+
+    def run():
+        calendar = _loaded_calendar(10_000)
+        return policy.admit_batch(calendar, requests)
+
+    decisions = benchmark(run)
+    assert len(decisions) == len(requests)

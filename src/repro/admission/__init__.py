@@ -1,0 +1,36 @@
+"""Admission control: per-interface capacity calendars, policies, pricing.
+
+The subsystem every AS consults before minting bandwidth assets or
+delivering reservations, so physical interface capacity can never be
+oversold and posted prices respond to scarcity.
+"""
+
+from repro.admission.calendar import AdmissionRejected, CapacityCalendar, Commitment
+from repro.admission.controller import ACTIVE, ISSUED, AdmissionController
+from repro.admission.policy import (
+    AdmissionDecision,
+    AdmissionPolicy,
+    AdmissionRequest,
+    FirstComeFirstServed,
+    OverbookingPolicy,
+    ProportionalShare,
+)
+from repro.admission.pricing import FlatPricer, Pricer, ScarcityPricer
+
+__all__ = [
+    "ACTIVE",
+    "ISSUED",
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "AdmissionRejected",
+    "AdmissionRequest",
+    "CapacityCalendar",
+    "Commitment",
+    "FirstComeFirstServed",
+    "FlatPricer",
+    "OverbookingPolicy",
+    "Pricer",
+    "ProportionalShare",
+    "ScarcityPricer",
+]

@@ -1,0 +1,150 @@
+"""The per-AS admission authority the control plane consults.
+
+One :class:`AdmissionController` guards every interface of one AS.  It
+keeps **two calendar layers** per (interface, direction):
+
+* the **issued** layer counts bandwidth the AS has minted as assets — it
+  stops the AS from overselling a physical link across overlapping
+  windows, however the assets are later split or resold;
+* the **active** layer counts delivered reservations — it is the physical
+  backstop (and catches reservations granted outside the market, e.g. by
+  simulation scenarios or a reconfigured, shrunken capacity).
+
+Both layers share the interface's physical capacity; the policy decides
+how the capacity is handed out, and the pricer turns the issued-layer
+utilization into the scarcity-adjusted listing price.
+"""
+
+from __future__ import annotations
+
+from repro.admission.calendar import AdmissionRejected, CapacityCalendar, Commitment
+from repro.admission.policy import (
+    AdmissionDecision,
+    AdmissionPolicy,
+    AdmissionRequest,
+    FirstComeFirstServed,
+)
+from repro.admission.pricing import FlatPricer, Pricer
+
+ISSUED = "issued"
+ACTIVE = "active"
+
+
+class AdmissionController:
+    """Capacity calendars + policy + pricing for all interfaces of one AS."""
+
+    def __init__(
+        self,
+        capacity_kbps: int,
+        policy: AdmissionPolicy | None = None,
+        pricer: Pricer | None = None,
+        capacities: dict[tuple[int, bool], int] | None = None,
+    ) -> None:
+        """``capacity_kbps`` is the default per-interface-direction capacity;
+        ``capacities`` overrides it per ``(interface, is_ingress)`` pair."""
+        if capacity_kbps <= 0:
+            raise ValueError("capacity must be positive")
+        self.default_capacity_kbps = int(capacity_kbps)
+        self.policy = policy if policy is not None else FirstComeFirstServed()
+        self.pricer = pricer if pricer is not None else FlatPricer()
+        self._capacities = dict(capacities) if capacities else {}
+        self._calendars: dict[tuple[str, int, bool], CapacityCalendar] = {}
+        self.rejections = 0
+
+    # -- calendars ----------------------------------------------------------------
+
+    def capacity_kbps(self, interface: int, is_ingress: bool) -> int:
+        return self._capacities.get((interface, is_ingress), self.default_capacity_kbps)
+
+    def calendar(self, interface: int, is_ingress: bool, layer: str = ISSUED) -> CapacityCalendar:
+        if layer not in (ISSUED, ACTIVE):
+            raise ValueError(f"unknown calendar layer {layer!r}")
+        key = (layer, interface, is_ingress)
+        found = self._calendars.get(key)
+        if found is None:
+            found = CapacityCalendar(self.capacity_kbps(interface, is_ingress))
+            self._calendars[key] = found
+        return found
+
+    # -- admission ----------------------------------------------------------------
+
+    def admit_issue(
+        self,
+        interface: int,
+        is_ingress: bool,
+        bandwidth_kbps: int,
+        start: float,
+        end: float,
+        tag: str = "",
+    ) -> AdmissionDecision:
+        """May the AS mint (and list) this much more bandwidth here?"""
+        return self._admit(ISSUED, interface, is_ingress, bandwidth_kbps, start, end, tag)
+
+    def admit_reservation(
+        self,
+        interface: int,
+        is_ingress: bool,
+        bandwidth_kbps: int,
+        start: float,
+        end: float,
+        tag: str = "",
+    ) -> AdmissionDecision:
+        """May a delivered reservation claim this much live bandwidth here?"""
+        return self._admit(ACTIVE, interface, is_ingress, bandwidth_kbps, start, end, tag)
+
+    def _admit(
+        self,
+        layer: str,
+        interface: int,
+        is_ingress: bool,
+        bandwidth_kbps: int,
+        start: float,
+        end: float,
+        tag: str,
+    ) -> AdmissionDecision:
+        calendar = self.calendar(interface, is_ingress, layer)
+        decision = self.policy.admit(
+            calendar, AdmissionRequest(int(bandwidth_kbps), start, end, buyer=tag)
+        )
+        if not decision.admitted:
+            self.rejections += 1
+        return decision
+
+    def release(
+        self, interface: int, is_ingress: bool, commitment: Commitment, layer: str = ISSUED
+    ) -> None:
+        self.calendar(interface, is_ingress, layer).release(commitment.commitment_id)
+
+    def expire(self, now: float) -> int:
+        """Garbage-collect ended commitments in every calendar, both layers."""
+        return sum(calendar.expire(now) for calendar in self._calendars.values())
+
+    # -- pricing ------------------------------------------------------------------
+
+    def utilization(
+        self, interface: int, is_ingress: bool, start: float, end: float, layer: str = ISSUED
+    ) -> float:
+        key = (layer, interface, is_ingress)
+        if key not in self._calendars:
+            return 0.0
+        return self._calendars[key].utilization(start, end)
+
+    def quote(
+        self,
+        base_micromist_per_unit: int,
+        interface: int,
+        is_ingress: bool,
+        start: float,
+        end: float,
+    ) -> int:
+        """Scarcity-adjusted unit price for a listing over this window.
+
+        Scarcity is the *worse* of the two layers: normally the issued
+        calendar leads (assets are minted before reservations activate),
+        but direct grants only show up in the active one.
+        """
+        utilization = max(
+            self.utilization(interface, is_ingress, start, end, ISSUED),
+            self.utilization(interface, is_ingress, start, end, ACTIVE),
+        )
+        return self.pricer.price(base_micromist_per_unit, utilization)

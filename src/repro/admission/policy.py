@@ -1,0 +1,160 @@
+"""Pluggable admission policies over a :class:`CapacityCalendar`.
+
+A policy turns "does it physically fit?" into an allocation discipline:
+
+* :class:`FirstComeFirstServed` — admit while the peak stays under
+  capacity; arrival order decides who wins a contended window;
+* :class:`ProportionalShare` — additionally cap any single buyer's share
+  of an interface (SIBRA's bounded-tube idea): no one can corner a link
+  even with a deep wallet;
+* :class:`OverbookingPolicy` — admit up to ``factor * capacity``,
+  betting on no-shows the way airlines do; the data plane still polices
+  actual usage, so overbooking trades admission yield against the risk
+  of demoting traffic to best effort.
+
+Policies *commit* into the calendar when they admit, so a policy object
+plus a calendar is a complete admission authority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.admission.calendar import CapacityCalendar, Commitment
+
+
+@dataclass(frozen=True)
+class AdmissionRequest:
+    """One admission question: bandwidth over a window, for a buyer."""
+
+    bandwidth_kbps: int
+    start: float
+    end: float
+    buyer: str = ""
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission question."""
+
+    admitted: bool
+    reason: str
+    commitment: Commitment | None = None
+
+
+class AdmissionPolicy:
+    """Base class: decide requests against a calendar, committing on admit."""
+
+    name = "base"
+
+    def admit(self, calendar: CapacityCalendar, request: AdmissionRequest) -> AdmissionDecision:
+        raise NotImplementedError
+
+    def admit_batch(
+        self, calendar: CapacityCalendar, requests: list[AdmissionRequest]
+    ) -> list[AdmissionDecision]:
+        """Decide many requests; subclasses may vectorize the screening."""
+        return [self.admit(calendar, request) for request in requests]
+
+    def release(self, calendar: CapacityCalendar, decision: AdmissionDecision) -> None:
+        """Undo an admitted decision (expiry, failed downstream transaction)."""
+        if decision.commitment is not None:
+            calendar.release(decision.commitment.commitment_id)
+
+
+class FirstComeFirstServed(AdmissionPolicy):
+    """Admit while the window's peak commitment stays within capacity."""
+
+    name = "fcfs"
+
+    def admit(self, calendar: CapacityCalendar, request: AdmissionRequest) -> AdmissionDecision:
+        headroom = calendar.headroom(request.start, request.end)
+        if request.bandwidth_kbps > headroom:
+            return AdmissionDecision(
+                False,
+                f"needs {request.bandwidth_kbps} kbps, only {headroom} kbps free",
+            )
+        commitment = calendar.commit(
+            request.bandwidth_kbps, request.start, request.end, tag=request.buyer
+        )
+        return AdmissionDecision(True, "fits", commitment)
+
+    def admit_batch(
+        self, calendar: CapacityCalendar, requests: list[AdmissionRequest]
+    ) -> list[AdmissionDecision]:
+        """Vectorized screen, then sequential commit for the survivors.
+
+        The bulk peak is computed against the calendar as it stood *before*
+        the batch.  Commitments only raise the peak, so a pre-screen reject
+        is definitive; pre-screen survivors are re-checked (and committed)
+        one by one because earlier batch members may have consumed the
+        window.
+        """
+        if not requests:
+            return []
+        starts = np.array([r.start for r in requests], dtype=np.float64)
+        ends = np.array([r.end for r in requests], dtype=np.float64)
+        bandwidths = np.array([r.bandwidth_kbps for r in requests], dtype=np.int64)
+        fits = calendar.bulk_admissible(bandwidths, starts, ends)
+        decisions: list[AdmissionDecision] = []
+        for request, fit in zip(requests, fits):
+            if not fit:
+                decisions.append(
+                    AdmissionDecision(
+                        False,
+                        f"needs {request.bandwidth_kbps} kbps over a window already "
+                        "at capacity",
+                    )
+                )
+            else:
+                decisions.append(self.admit(calendar, request))
+        return decisions
+
+
+class ProportionalShare(FirstComeFirstServed):
+    """FCFS plus a per-buyer cap: no buyer exceeds ``max_fraction`` of capacity."""
+
+    name = "proportional-share"
+
+    def __init__(self, max_fraction: float = 0.25) -> None:
+        if not 0 < max_fraction <= 1:
+            raise ValueError("max_fraction must be in (0, 1]")
+        self.max_fraction = max_fraction
+
+    def admit(self, calendar: CapacityCalendar, request: AdmissionRequest) -> AdmissionDecision:
+        buyer_cap = int(self.max_fraction * calendar.capacity_kbps)
+        buyer_peak = calendar.tag_peak(request.buyer, request.start, request.end)
+        if buyer_peak + request.bandwidth_kbps > buyer_cap:
+            return AdmissionDecision(
+                False,
+                f"buyer {request.buyer!r} would hold {buyer_peak + request.bandwidth_kbps} "
+                f"of {buyer_cap} kbps allowed ({self.max_fraction:.0%} share cap)",
+            )
+        return super().admit(calendar, request)
+
+
+class OverbookingPolicy(AdmissionPolicy):
+    """Admit up to ``factor * capacity``, betting that demand won't all show."""
+
+    name = "overbooking"
+
+    def __init__(self, factor: float = 1.5) -> None:
+        if factor < 1:
+            raise ValueError("overbooking factor must be >= 1")
+        self.factor = factor
+
+    def admit(self, calendar: CapacityCalendar, request: AdmissionRequest) -> AdmissionDecision:
+        limit = int(self.factor * calendar.capacity_kbps)
+        peak = calendar.peak_commitment(request.start, request.end)
+        if peak + request.bandwidth_kbps > limit:
+            return AdmissionDecision(
+                False,
+                f"needs {request.bandwidth_kbps} kbps, overbooked limit {limit} kbps "
+                f"already carries {peak} kbps",
+            )
+        commitment = calendar.commit(
+            request.bandwidth_kbps, request.start, request.end, tag=request.buyer
+        )
+        return AdmissionDecision(True, f"fits under {self.factor}x overbooking", commitment)

@@ -12,6 +12,13 @@ Responsibilities:
   AS-local secret value, seal ``(ResInfo, A_K)`` under the redeemer's
   ephemeral public key, and deliver it through the asset contract (a
   fast-path transaction — only owned objects are touched).
+
+Every issuance and every delivery first passes the AS's
+:class:`~repro.admission.AdmissionController`: the *issued* capacity
+calendar stops the AS from overselling an interface across overlapping
+asset windows, the *active* calendar accounts delivered reservations, and
+the controller's pricer turns utilization into the scarcity-adjusted
+listing price.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ import json
 import random
 from dataclasses import dataclass
 
+from repro.admission import ACTIVE, AdmissionController, AdmissionRejected
 from repro.contracts.asset import DELIVERY_TYPE, REQUEST_TYPE
 from repro.crypto.prf import DEFAULT_PRF_FACTORY, PrfFactory
 from repro.crypto.sealing import seal
@@ -34,6 +42,7 @@ from repro.wire import bwcls
 DEFAULT_GRANULARITY = 60  # seconds: minimum reservation duration an AS supports
 DEFAULT_MIN_BANDWIDTH = 100  # kbps: VoIP-sized minimum reservation (§4.4)
 DEFAULT_RESID_CAPACITY = 100_000
+DEFAULT_INTERFACE_CAPACITY_KBPS = 10_000_000  # 10 Gbps per interface direction
 
 
 @dataclass
@@ -58,6 +67,8 @@ class AsService:
         rng: random.Random | None = None,
         prf_factory: PrfFactory = DEFAULT_PRF_FACTORY,
         resid_capacity: int = DEFAULT_RESID_CAPACITY,
+        admission: AdmissionController | None = None,
+        interface_capacity_kbps: int = DEFAULT_INTERFACE_CAPACITY_KBPS,
     ) -> None:
         self.autonomous_system = autonomous_system
         self.account = account
@@ -70,6 +81,13 @@ class AsService:
         self._allocators: dict[int, ResIdAllocator] = {}
         self._resid_capacity = resid_capacity
         self._last_checkpoint = 0
+        self.admission = (
+            admission
+            if admission is not None
+            else AdmissionController(interface_capacity_kbps)
+        )
+        # (request_id, reason) pairs this AS declined to serve.
+        self.undeliverable: list[tuple[str, str]] = []
 
     @property
     def isd_as(self):
@@ -128,10 +146,32 @@ class AsService:
         granularity: int = DEFAULT_GRANULARITY,
         min_bandwidth_kbps: int = DEFAULT_MIN_BANDWIDTH,
     ) -> SubmittedTransaction:
-        """Issue one large asset and put it on the market (Fig. 2, steps 2-3)."""
+        """Issue one large asset and put it on the market (Fig. 2, steps 2-3).
+
+        The asset must first clear the *issued* capacity calendar for its
+        interface direction (no overselling across overlapping windows);
+        the listing price is the caller's base price scaled by the
+        interface's scarcity multiplier at issuance time.
+        """
         if self.token_id is None:
             raise RuntimeError("AS must register before issuing assets")
-        return self.executor.submit(
+        quoted_price = self.admission.quote(
+            price_micromist_per_unit, interface, is_ingress, start, expiry
+        )
+        decision = self.admission.admit_issue(
+            interface,
+            is_ingress,
+            bandwidth_kbps,
+            start,
+            expiry,
+            tag=f"issue:{self.isd_as}",
+        )
+        if not decision.admitted:
+            raise AdmissionRejected(
+                f"{self.isd_as} interface {interface} "
+                f"({'ingress' if is_ingress else 'egress'}): {decision.reason}"
+            )
+        submitted = self.executor.submit(
             Transaction(
                 sender=self.account.address,
                 commands=[
@@ -155,17 +195,28 @@ class AsService:
                         {
                             "marketplace": marketplace,
                             "asset": Result(0, "asset"),
-                            "price_micromist_per_unit": price_micromist_per_unit,
+                            "price_micromist_per_unit": quoted_price,
                         },
                     ),
                 ],
             )
         )
+        if not submitted.effects.ok:
+            # The ledger refused the asset: hand its capacity back.
+            self.admission.release(interface, is_ingress, decision.commitment)
+        return submitted
 
     # -- redemption handling -------------------------------------------------------
 
     def poll_and_deliver(self) -> list[DeliveryRecord]:
-        """Handle all pending redeem requests addressed to this AS (steps 6-8)."""
+        """Handle all pending redeem requests addressed to this AS (steps 6-8).
+
+        Requests the AS *cannot* serve — admission rejected, ResID space
+        exhausted, or the delivery transaction refused by the ledger — are
+        skipped (recorded in :attr:`undeliverable`) rather than aborting the
+        poll: the event checkpoint has already advanced, so raising here
+        would silently orphan every later request in the same batch.
+        """
         ledger = self.executor.ledger
         events = ledger.events_since(self._last_checkpoint, "RedeemRequested")
         self._last_checkpoint = ledger.checkpoint
@@ -179,7 +230,12 @@ class AsService:
             request_id = event.payload["request"]
             if request_id not in ledger.objects:
                 continue  # already delivered
-            records.append(self._deliver(ledger.get_object(request_id)))
+            try:
+                records.append(self._deliver(ledger.get_object(request_id)))
+            except RuntimeError as reason:
+                # AdmissionRejected and CapacityExhausted are RuntimeErrors
+                # too; _deliver rolled its claims back before raising.
+                self.undeliverable.append((request_id, str(reason)))
         return records
 
     def _deliver(self, request) -> DeliveryRecord:
@@ -188,8 +244,29 @@ class AsService:
         egress_if = payload["egress"]["interface"]
         start = payload["ingress"]["start"]
         expiry = payload["ingress"]["expiry"]
-        bw_cls = bwcls.encode_floor(payload["ingress"]["bandwidth_kbps"])
-        res_id = self._allocator(ingress_if).allocate(start, expiry)
+        bandwidth_kbps = payload["ingress"]["bandwidth_kbps"]
+        bw_cls = bwcls.encode_floor(bandwidth_kbps)
+        redeemer = payload.get("redeemer", "")
+        # Delivered reservations claim live capacity on both crossed
+        # interfaces (the active calendar is the physical backstop — the
+        # redeemed assets already cleared the issued one).
+        admissions = []
+        for interface, is_ingress in ((ingress_if, True), (egress_if, False)):
+            decision = self.admission.admit_reservation(
+                interface, is_ingress, bandwidth_kbps, start, expiry, tag=redeemer
+            )
+            if not decision.admitted:
+                self._rollback_admissions(admissions)
+                raise AdmissionRejected(
+                    f"{self.isd_as} interface {interface} "
+                    f"({'ingress' if is_ingress else 'egress'}): {decision.reason}"
+                )
+            admissions.append((interface, is_ingress, decision))
+        try:
+            res_id = self._allocator(ingress_if).allocate(start, expiry)
+        except CapacityExhausted:
+            self._rollback_admissions(admissions)
+            raise
         resinfo = ResInfo(
             ingress=ingress_if,
             egress=egress_if,
@@ -237,6 +314,9 @@ class AsService:
             )
         )
         if not submitted.effects.ok:
+            # Nothing was delivered: hand back the live capacity and ResID.
+            self._rollback_admissions(admissions)
+            self._allocator(ingress_if).release(res_id, start, expiry)
             raise RuntimeError(f"delivery failed: {submitted.effects.error}")
         return DeliveryRecord(
             request_id=request.object_id,
@@ -244,6 +324,23 @@ class AsService:
             res_id=res_id,
             submitted=submitted,
         )
+
+    def _rollback_admissions(self, admissions) -> None:
+        """Release active-calendar claims from an aborted delivery."""
+        for interface, is_ingress, decision in admissions:
+            self.admission.release(
+                interface, is_ingress, decision.commitment, layer=ACTIVE
+            )
+
+    def expire_commitments(self, now: float | None = None) -> int:
+        """Release calendar commitments whose windows have fully ended.
+
+        The step function already ignores past windows when judging future
+        admissions; this garbage-collects their bookkeeping.  Returns the
+        number of commitments released.
+        """
+        when = now if now is not None else self.executor.clock.now()
+        return self.admission.expire(when)
 
     def _allocator(self, ingress_if: int) -> ResIdAllocator:
         allocator = self._allocators.get(ingress_if)

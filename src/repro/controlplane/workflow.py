@@ -97,13 +97,23 @@ def deploy_market(
     granularity: int = 60,
     min_bandwidth_kbps: int = 100,
     prf_factory: PrfFactory = DEFAULT_PRF_FACTORY,
+    interface_capacity_kbps: int | None = None,
+    admission_policy=None,
+    pricer=None,
 ) -> MarketDeployment:
     """Stand up ledger, contracts, marketplace, and one service per AS.
 
     Every AS registers, then issues and lists one large ingress asset and
     one large egress asset per interface (plus the AS-internal interface 0,
     so first/last-hop reservations work).
+
+    ``interface_capacity_kbps`` sets each AS's physical per-interface
+    capacity (default: exactly the issued asset bandwidth, so the seed
+    deployment fills every admission calendar without headroom);
+    ``admission_policy`` and ``pricer`` configure each AS's
+    :class:`~repro.admission.AdmissionController`.
     """
+    from repro.admission import AdmissionController
     rng = random.Random(seed)
     clock = clock if clock is not None else SimClock()
     pki = CpPki(seed=seed)
@@ -132,6 +142,11 @@ def deploy_market(
     services: dict = {}
     for autonomous_system in topology.ases:
         account = Account.generate(rng, f"as-{autonomous_system.isd_as}")
+        capacity = (
+            interface_capacity_kbps
+            if interface_capacity_kbps is not None
+            else asset_bandwidth_kbps
+        )
         service = AsService(
             autonomous_system,
             account,
@@ -139,6 +154,9 @@ def deploy_market(
             pki,
             rng=random.Random(seed ^ autonomous_system.isd_as.asn),
             prf_factory=prf_factory,
+            admission=AdmissionController(
+                capacity, policy=admission_policy, pricer=pricer
+            ),
         )
         registered = service.register()
         if not registered.effects.ok:

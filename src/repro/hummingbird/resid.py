@@ -100,6 +100,12 @@ class FirstFitColoring:
         """Remove a finished interval so its colour can be reused."""
         self._tracks[color].remove(interval)
 
+    def prune_empty_tail(self) -> None:
+        """Drop trailing colours with no assignments (rollback helper), so
+        ``colors_in_use`` never counts colours created by a failed assign."""
+        while self._tracks and not self._tracks[-1].starts:
+            self._tracks.pop()
+
     @property
     def colors_in_use(self) -> int:
         return len(self._tracks)
@@ -121,9 +127,16 @@ class ResIdAllocator:
 
     def allocate(self, start: float, end: float) -> int:
         interval = Interval(start, end)
+        high_water = self._coloring.max_color_used
         res_id = self._coloring.assign(interval)
         if res_id >= self.capacity:
+            # Roll the rejected assignment back completely: the interval, the
+            # track it may have created, AND the high-water mark (policing
+            # arrays are sized off max_res_id, which must only reflect
+            # reservations actually granted).
             self._coloring.release(res_id, interval)
+            self._coloring.prune_empty_tail()
+            self._coloring.max_color_used = high_water
             raise CapacityExhausted(
                 f"ResID {res_id} exceeds policing capacity {self.capacity}"
             )

@@ -31,6 +31,13 @@ class EventLoop:
         self.schedule_at(self.clock.now() + delay, callback)
 
     def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute time ``when``.
+
+        Events scheduled for the **same timestamp run in FIFO order**: each
+        entry carries a monotonically increasing sequence number that breaks
+        heap ties, so equal-time callbacks execute in the order they were
+        scheduled (and no comparison ever reaches the callbacks themselves).
+        """
         if when < self.clock.now():
             raise ValueError("cannot schedule into the past")
         heapq.heappush(self._queue, (when, next(self._sequence), callback))
@@ -49,6 +56,11 @@ class EventLoop:
         self.clock.set(max(self.clock.now(), end_time))
         self._events_run += executed
         return executed
+
+    @property
+    def events_run(self) -> int:
+        """Total events executed across all :meth:`run_until` calls."""
+        return self._events_run
 
     @property
     def pending(self) -> int:

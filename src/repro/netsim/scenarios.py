@@ -259,3 +259,136 @@ def congestion_experiment(
         attacker=attacker_metrics.summary(),
         bottleneck_utilization=utilization,
     )
+
+
+@dataclass
+class BuyerOutcome:
+    """One competing buyer's fate in :func:`contention_experiment`."""
+
+    buyer: str
+    requested_kbps: int
+    admitted: bool
+    quoted_price_micromist: int
+    reason: str
+    metrics: dict
+
+
+@dataclass
+class ContentionResult:
+    """Outcome of :func:`contention_experiment`."""
+
+    buyers: list[BuyerOutcome]
+    capacity_kbps: int
+    bottleneck_utilization: float
+
+    @property
+    def admitted(self) -> list[BuyerOutcome]:
+        return [b for b in self.buyers if b.admitted]
+
+    @property
+    def rejected(self) -> list[BuyerOutcome]:
+        return [b for b in self.buyers if not b.admitted]
+
+
+def contention_experiment(
+    topology: Topology,
+    path: ForwardingPath,
+    num_buyers: int = 8,
+    per_buyer_kbps: int = 2000,
+    link_rate_bps: float = 10_000_000.0,
+    reservable_fraction: float = 0.8,
+    duration: float = 1.5,
+    payload_bytes: int = 1000,
+    base_price_micromist: int = 50,
+    seed: int = 1,
+    prf_factory: PrfFactory = SIM_PRF,
+    pricer=None,
+    policy=None,
+) -> ContentionResult:
+    """Many buyers compete for one bottleneck interface's capacity.
+
+    Each buyer asks the bottleneck AS to admit ``1.25 * per_buyer_kbps``
+    (rate plus header overhead) against a capacity calendar sized to
+    ``reservable_fraction`` of the bottleneck link.  Admitted buyers get a
+    full-path reservation (distinct ResIDs) and send at ``per_buyer_kbps``
+    with priority protection; rejected buyers *fall back to best effort*
+    and fight over whatever the reserved traffic leaves behind.  Quoted
+    prices rise with utilization when a scarcity pricer is installed
+    (default), so the result doubles as a price-discovery trace.
+    """
+    from repro.admission import AdmissionController, ScarcityPricer
+
+    simulation = build_path_simulation(
+        topology, path, link_rate_bps=link_rate_bps, prf_factory=prf_factory
+    )
+    crossings = as_crossings(path)
+    if len(crossings) < 2:
+        raise ValueError("need at least one inter-AS link for a bottleneck")
+    bottleneck = crossings[1]  # ingress side of the first inter-AS link
+    capacity_kbps = int(link_rate_bps / 1000 * reservable_fraction)
+    controller = AdmissionController(
+        capacity_kbps,
+        policy=policy,
+        pricer=pricer if pricer is not None else ScarcityPricer(),
+    )
+
+    start = int(simulation.clock.now())
+    reserve_kbps = int(per_buyer_kbps * 1.25)  # cover wire overhead
+    window_end = start + int(duration) + 60
+    rng = random.Random(seed)
+    sources = []
+    outcomes: list[BuyerOutcome] = []
+    flow_metrics: list[FlowMetrics] = []
+    for index in range(num_buyers):
+        buyer = f"buyer-{index}"
+        quote = controller.quote(
+            base_price_micromist, bottleneck.ingress, True, start, window_end
+        )
+        decision = controller.admit_reservation(
+            bottleneck.ingress, True, reserve_kbps, start, window_end, tag=buyer
+        )
+        if decision.admitted:
+            reservations = simulation.grant_full_path(
+                reserve_kbps, start, int(duration) + 60, res_id=index
+            )
+            builder = simulation.hummingbird_source(reservations)
+        else:
+            builder = simulation.best_effort_source()
+        metrics = simulation.sink.flow(index + 1)
+        flow_metrics.append(metrics)
+        source = CbrSource(
+            simulation.loop,
+            builder,
+            simulation.entry,
+            metrics,
+            rate_bps=per_buyer_kbps * 1000.0,
+            payload_bytes=payload_bytes,
+            flow_id=index + 1,
+            jitter=0.05,
+            rng=rng,
+        )
+        sources.append(source)
+        source.start(0.01 * index)  # slight stagger, arrival order = index order
+        outcomes.append(
+            BuyerOutcome(
+                buyer=buyer,
+                requested_kbps=reserve_kbps,
+                admitted=decision.admitted,
+                quoted_price_micromist=quote,
+                reason=decision.reason,
+                metrics={},
+            )
+        )
+
+    simulation.loop.run_until(simulation.clock.now() + duration)
+    for source in sources:
+        source.stop()
+    for outcome, metrics in zip(outcomes, flow_metrics):
+        outcome.metrics = metrics.summary()
+
+    link = simulation.links[0]
+    return ContentionResult(
+        buyers=outcomes,
+        capacity_kbps=capacity_kbps,
+        bottleneck_utilization=link.utilization(duration),
+    )

@@ -1,0 +1,168 @@
+"""Admission policies, scarcity pricing, and the per-AS controller."""
+
+import pytest
+
+from repro.admission import (
+    AdmissionController,
+    AdmissionRequest,
+    CapacityCalendar,
+    FirstComeFirstServed,
+    FlatPricer,
+    OverbookingPolicy,
+    ProportionalShare,
+    ScarcityPricer,
+)
+
+
+class TestFirstComeFirstServed:
+    def test_arrival_order_wins(self):
+        policy = FirstComeFirstServed()
+        calendar = CapacityCalendar(1000)
+        first = policy.admit(calendar, AdmissionRequest(600, 0, 100, "early"))
+        second = policy.admit(calendar, AdmissionRequest(600, 0, 100, "late"))
+        assert first.admitted and not second.admitted
+        assert "only 400 kbps free" in second.reason
+
+    def test_release_undoes_admission(self):
+        policy = FirstComeFirstServed()
+        calendar = CapacityCalendar(1000)
+        decision = policy.admit(calendar, AdmissionRequest(600, 0, 100))
+        policy.release(calendar, decision)
+        assert policy.admit(calendar, AdmissionRequest(1000, 0, 100)).admitted
+
+    def test_admit_batch_matches_sequential(self):
+        requests = [
+            AdmissionRequest(400, 0, 100, f"b{i}") for i in range(5)
+        ] + [AdmissionRequest(400, 100, 200, "late")]
+        policy = FirstComeFirstServed()
+        batched = CapacityCalendar(1000)
+        sequential = CapacityCalendar(1000)
+        batch_decisions = policy.admit_batch(batched, requests)
+        loop_decisions = [policy.admit(sequential, r) for r in requests]
+        assert [d.admitted for d in batch_decisions] == [d.admitted for d in loop_decisions]
+        # 2 of the 5 overlapping fit (800 of 1000), the disjoint one fits.
+        assert [d.admitted for d in batch_decisions] == [True, True, False, False, False, True]
+
+    def test_admit_batch_empty(self):
+        assert FirstComeFirstServed().admit_batch(CapacityCalendar(10), []) == []
+
+
+class TestProportionalShare:
+    def test_caps_single_buyer(self):
+        policy = ProportionalShare(max_fraction=0.5)
+        calendar = CapacityCalendar(1000)
+        assert policy.admit(calendar, AdmissionRequest(400, 0, 100, "whale")).admitted
+        hit_cap = policy.admit(calendar, AdmissionRequest(200, 0, 100, "whale"))
+        assert not hit_cap.admitted
+        assert "share cap" in hit_cap.reason
+        # A different buyer still gets the remaining capacity.
+        assert policy.admit(calendar, AdmissionRequest(200, 0, 100, "minnow")).admitted
+
+    def test_cap_is_per_window(self):
+        policy = ProportionalShare(max_fraction=0.5)
+        calendar = CapacityCalendar(1000)
+        assert policy.admit(calendar, AdmissionRequest(500, 0, 100, "whale")).admitted
+        # Same buyer, disjoint time: the share cap applies per window.
+        assert policy.admit(calendar, AdmissionRequest(500, 100, 200, "whale")).admitted
+
+    def test_global_capacity_still_enforced(self):
+        policy = ProportionalShare(max_fraction=1.0)
+        calendar = CapacityCalendar(1000)
+        assert policy.admit(calendar, AdmissionRequest(900, 0, 100, "a")).admitted
+        assert not policy.admit(calendar, AdmissionRequest(200, 0, 100, "b")).admitted
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            ProportionalShare(0)
+        with pytest.raises(ValueError):
+            ProportionalShare(1.5)
+
+
+class TestOverbooking:
+    def test_admits_beyond_capacity_up_to_factor(self):
+        policy = OverbookingPolicy(factor=2.0)
+        calendar = CapacityCalendar(1000)
+        assert policy.admit(calendar, AdmissionRequest(1500, 0, 100)).admitted
+        assert policy.admit(calendar, AdmissionRequest(500, 0, 100)).admitted
+        assert not policy.admit(calendar, AdmissionRequest(1, 0, 100)).admitted
+
+    def test_factor_one_is_plain_capacity(self):
+        policy = OverbookingPolicy(factor=1.0)
+        calendar = CapacityCalendar(1000)
+        assert policy.admit(calendar, AdmissionRequest(1000, 0, 100)).admitted
+        assert not policy.admit(calendar, AdmissionRequest(1, 0, 100)).admitted
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            OverbookingPolicy(0.5)
+
+
+class TestPricing:
+    def test_empty_interface_is_base_price(self):
+        pricer = ScarcityPricer()
+        assert pricer.multiplier(0.0) == 1.0
+        assert pricer.price(50, 0.0) == 50
+
+    def test_multiplier_monotone_in_utilization(self):
+        pricer = ScarcityPricer()
+        values = [pricer.multiplier(u / 10) for u in range(11)]
+        assert values == sorted(values)
+        assert values[-1] == pricer.max_multiplier
+
+    def test_capped_at_max_multiplier(self):
+        pricer = ScarcityPricer(max_multiplier=10.0)
+        assert pricer.multiplier(0.9999) == 10.0
+        assert pricer.multiplier(2.0) == 10.0  # overbooked utilization > 1
+
+    def test_vectorized_matches_scalar(self):
+        pricer = ScarcityPricer()
+        utilizations = [0.0, 0.3, 0.75, 0.99, 1.0]
+        vector = pricer.multipliers(utilizations)
+        assert vector.tolist() == pytest.approx(
+            [pricer.multiplier(u) for u in utilizations]
+        )
+
+    def test_price_rounds_up_and_floors_at_one(self):
+        pricer = ScarcityPricer(alpha=0.5)
+        assert pricer.price(50, 0.5) == 63  # 50 * 1.25 = 62.5 -> ceil
+        assert FlatPricer().price(0, 0.9) == 1
+
+
+class TestController:
+    def test_layers_are_independent(self):
+        controller = AdmissionController(1000)
+        assert controller.admit_issue(1, True, 800, 0, 100).admitted
+        # The active layer still has full headroom for the same window.
+        assert controller.admit_reservation(1, True, 800, 0, 100).admitted
+        assert not controller.admit_issue(1, True, 300, 0, 100).admitted
+        assert controller.rejections == 1
+
+    def test_directions_are_independent(self):
+        controller = AdmissionController(1000)
+        assert controller.admit_issue(1, True, 1000, 0, 100).admitted
+        assert controller.admit_issue(1, False, 1000, 0, 100).admitted
+
+    def test_per_interface_capacity_override(self):
+        controller = AdmissionController(1000, capacities={(7, True): 100})
+        assert not controller.admit_issue(7, True, 500, 0, 100).admitted
+        assert controller.admit_issue(8, True, 500, 0, 100).admitted
+
+    def test_quote_tracks_worse_layer(self):
+        controller = AdmissionController(1000, pricer=ScarcityPricer())
+        base = controller.quote(50, 1, True, 0, 100)
+        assert base == 50
+        controller.admit_reservation(1, True, 900, 0, 100)
+        assert controller.quote(50, 1, True, 0, 100) > 50
+
+    def test_release_and_expire(self):
+        controller = AdmissionController(1000)
+        decision = controller.admit_issue(1, True, 800, 0, 100)
+        controller.release(1, True, decision.commitment)
+        assert controller.admit_issue(1, True, 1000, 0, 100).admitted
+        assert controller.expire(200) == 1
+        assert controller.calendar(1, True).commitment_count == 0
+
+    def test_unknown_layer_rejected(self):
+        controller = AdmissionController(1000)
+        with pytest.raises(ValueError):
+            controller.calendar(1, True, layer="imaginary")

@@ -178,3 +178,66 @@ class TestResIdAllocator:
         assert policing_array_bytes(100_000_000, 100) == 24_000_000
         # Example 2: 100 Gbps / 4 Mbps -> 75 000 ResIDs, 600 kB array.
         assert policing_array_bytes(100_000_000, 4_000) == 600_000
+
+
+class TestResIdExhaustionAndReuse:
+    """Capacity-exhaustion behaviour the admission subsystem now leans on."""
+
+    def test_failed_allocation_leaves_allocator_usable(self):
+        allocator = ResIdAllocator(capacity=2)
+        allocator.allocate(0, 10)
+        allocator.allocate(0, 10)
+        with pytest.raises(CapacityExhausted):
+            allocator.allocate(5, 15)
+        # The rejected interval was rolled back completely: no phantom
+        # colour track, no bumped high-water mark.
+        assert allocator._coloring.colors_in_use == 2
+        assert allocator.max_res_id <= 1
+        # A non-overlapping window still allocates, within capacity.
+        assert allocator.allocate(10, 20) in (0, 1)
+
+    def test_release_after_exhaustion_reopens_capacity(self):
+        allocator = ResIdAllocator(capacity=2)
+        first = allocator.allocate(0, 10)
+        allocator.allocate(0, 10)
+        with pytest.raises(CapacityExhausted):
+            allocator.allocate(0, 10)
+        allocator.release(first, 0, 10)
+        assert allocator.allocate(0, 10) == first
+
+    def test_released_id_reused_lowest_first(self):
+        allocator = ResIdAllocator(capacity=8)
+        ids = [allocator.allocate(0, 10) for _ in range(4)]
+        assert ids == [0, 1, 2, 3]
+        allocator.release(1, 0, 10)
+        allocator.release(2, 0, 10)
+        # First-Fit hands back the lowest free colour first.
+        assert allocator.allocate(0, 10) == 1
+        assert allocator.allocate(0, 10) == 2
+
+    def test_release_requires_exact_interval(self):
+        allocator = ResIdAllocator(capacity=2)
+        res_id = allocator.allocate(0, 10)
+        with pytest.raises(KeyError):
+            allocator.release(res_id, 0, 11)
+        # The reservation is still held: a full-capacity burst exhausts.
+        allocator.allocate(0, 10)
+        with pytest.raises(CapacityExhausted):
+            allocator.allocate(0, 10)
+
+    def test_max_res_id_tracks_high_water_mark(self):
+        allocator = ResIdAllocator(capacity=4)
+        assert allocator.max_res_id == -1
+        for expected in range(3):
+            allocator.allocate(0, 10)
+            assert allocator.max_res_id == expected
+        allocator.release(2, 0, 10)
+        # High-water mark is monotone even after release.
+        assert allocator.max_res_id == 2
+
+    def test_sequential_windows_never_exhaust_capacity_one(self):
+        allocator = ResIdAllocator(capacity=1)
+        for window in range(50):
+            res_id = allocator.allocate(window * 10, window * 10 + 10)
+            assert res_id == 0
+            allocator.release(res_id, window * 10, window * 10 + 10)

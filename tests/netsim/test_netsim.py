@@ -6,7 +6,11 @@ from repro.clock import SimClock
 from repro.netsim.events import EventLoop
 from repro.netsim.link import Link
 from repro.netsim.metrics import FlowMetrics
-from repro.netsim.scenarios import congestion_experiment, linear_path
+from repro.netsim.scenarios import (
+    congestion_experiment,
+    contention_experiment,
+    linear_path,
+)
 
 
 class TestEventLoop:
@@ -45,6 +49,24 @@ class TestEventLoop:
         loop.schedule(0.0, lambda: chain(0))
         loop.run_until(1.0)
         assert hits == [0, 1, 2, 3, 4, 5]
+
+    def test_events_run_counts_across_calls(self):
+        loop = EventLoop(SimClock(0.0))
+        assert loop.events_run == 0
+        for delay in (1.0, 2.0, 3.0):
+            loop.schedule(delay, lambda: None)
+        loop.run_until(1.5)
+        assert loop.events_run == 1
+        loop.run_until(10.0)
+        assert loop.events_run == 3
+
+    def test_equal_timestamps_run_fifo(self):
+        loop = EventLoop(SimClock(0.0))
+        order = []
+        for label in range(6):
+            loop.schedule_at(1.0, lambda label=label: order.append(label))
+        loop.run_until(2.0)
+        assert order == [0, 1, 2, 3, 4, 5]
 
 
 class TestLink:
@@ -133,3 +155,45 @@ class TestQosExperiment:
         )
         # The flood still gets ~ the remaining capacity of the bottleneck.
         assert result.attacker["goodput_mbps"] > 8.0
+
+
+class TestContentionExperiment:
+    def test_rejected_buyers_fall_to_best_effort(self):
+        """Admission splits the crowd: admitted keep their goodput, rejected
+        collapse onto the leftover best-effort capacity."""
+        topology, path = linear_path(3)
+        result = contention_experiment(topology, path, num_buyers=8, duration=1.5)
+        # 8000 kbps reservable / 2500 kbps per request -> exactly 3 admitted.
+        assert len(result.admitted) == 3
+        assert len(result.rejected) == 5
+        for buyer in result.admitted:
+            assert buyer.metrics["goodput_mbps"] > 1.8  # sending at 2 Mbps
+            assert buyer.metrics["loss_rate"] < 0.05
+        for buyer in result.rejected:
+            assert buyer.metrics["goodput_mbps"] < 1.2
+            assert buyer.metrics["loss_rate"] > 0.2
+        # The bottleneck is saturated by the total offered load.
+        assert result.bottleneck_utilization > 0.9
+
+    def test_scarcity_prices_rise_as_interface_fills(self):
+        topology, path = linear_path(3)
+        result = contention_experiment(topology, path, num_buyers=6, duration=0.5)
+        quotes = [b.quoted_price_micromist for b in result.buyers]
+        assert quotes == sorted(quotes)
+        assert quotes[-1] > quotes[0]
+        # Rejected buyers saw the saturated-quote price.
+        assert all(
+            b.quoted_price_micromist >= quotes[len(result.admitted) - 1]
+            for b in result.rejected
+        )
+
+    def test_everyone_admitted_when_capacity_suffices(self):
+        topology, path = linear_path(3)
+        result = contention_experiment(
+            topology,
+            path,
+            num_buyers=3,
+            per_buyer_kbps=1000,
+            duration=0.5,
+        )
+        assert len(result.admitted) == 3 and not result.rejected
