@@ -8,6 +8,9 @@ Demonstrates the control-plane economics of §4.2 on a 3-core-AS mesh:
 * a reseller buys a large block cheap, splits it in time, and re-lists the
   halves at a markup — assets are freely tradable;
 * two hosts buy disjoint rectangles of the same original asset;
+* discovery runs through the v2 API: a declarative ``ListingQuery``
+  against the incremental ``MarketIndexer``, ``PathSpec`` purchase plans,
+  and a client-side budget guard that refuses over-budget submissions;
 * an atomic multi-hop purchase aborts when one hop is unavailable and the
   buyer's coin balance is untouched (the atomicity property).
 
@@ -16,8 +19,9 @@ Run:  python examples/bandwidth_market.py
 
 from repro.clock import SimClock
 from repro.contracts.coin import coin_balance
-from repro.controlplane import deploy_market, purchase_path
+from repro.controlplane import BudgetExceeded, deploy_market, purchase_path
 from repro.ledger.transactions import Command, Transaction
+from repro.marketdata import ListingQuery, PathSpec
 from repro.scion import PathLookup, as_crossings, core_mesh_topology, run_beaconing
 
 
@@ -59,13 +63,23 @@ def main() -> None:
     )
 
     # --- a reseller splits an owned asset and re-lists at a markup -----------
+    # Discovery goes through the incremental off-chain index: a declarative
+    # ListingQuery in, the cheapest priced candidate out (no ledger scan).
     reseller = deployment.new_host(funding_sui=200, name="reseller")
     first_as = crossings[0].isd_as
-    service = deployment.service(first_as)
-    listing, price, buy_start, buy_expiry = reseller.find_listing(
-        deployment.marketplace, first_as, crossings[0].egress, False,
-        start + 1860, start + 5460, 1_000_000,
+    candidate = deployment.indexer.best(
+        ListingQuery(
+            isd_as=first_as,
+            interface=crossings[0].egress,
+            is_ingress=False,
+            start=start + 1860,
+            expiry=start + 5460,
+            bandwidth_kbps=1_000_000,
+        )
     )
+    if candidate is None:  # best() returns None when nothing covers
+        raise SystemExit("no listing covers the reseller's rectangle")
+    listing, price, buy_start, buy_expiry = candidate.as_tuple()
     submitted = reseller.executor.submit(
         Transaction(
             sender=reseller.account.address,
@@ -103,18 +117,26 @@ def main() -> None:
         f"1.8x markup (tx {'ok' if resale.effects.ok else 'aborted'})"
     )
 
-    # --- atomicity: a failing hop rolls back the whole purchase --------------
-    from repro.controlplane import HopRequirement
+    # --- budget guard: the client refuses to submit over-budget plans --------
+    cheapskate = deployment.new_host(funding_sui=50, name="cheapskate")
+    plan = cheapskate.plan_path(
+        deployment.marketplace,
+        PathSpec.from_crossings(crossings, start + 1200, start + 1800, 10_000),
+    )
+    try:
+        cheapskate.atomic_buy_and_redeem(
+            deployment.marketplace, plan, max_price_mist=plan.estimated_price_mist // 2
+        )
+    except BudgetExceeded as refused:
+        print(f"budget guard refused client-side (no gas spent): {refused}")
 
+    # --- atomicity: a failing hop rolls back the whole purchase --------------
     mallory = deployment.new_host(funding_sui=0.0000005, name="mallory")
     before = coin_balance(deployment.ledger, mallory.account.address)
     assets_before = len(mallory.owned_assets())
-    plan = mallory.plan_purchase(
+    plan = mallory.plan_path(
         deployment.marketplace,
-        [
-            HopRequirement.from_crossing(c, start + 1200, start + 1800, 10_000)
-            for c in crossings
-        ],
+        PathSpec.from_crossings(crossings, start + 1200, start + 1800, 10_000),
     )
     submitted = mallory.atomic_buy_and_redeem(deployment.marketplace, plan)
     after = coin_balance(deployment.ledger, mallory.account.address)

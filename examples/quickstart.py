@@ -46,6 +46,11 @@ def main() -> None:
 
     host = deployment.new_host(funding_sui=100.0)
     start = int(clock.now()) + 60
+    deployment.indexer.sync()
+    print(
+        f"off-chain index tracks {deployment.indexer.count} live listings "
+        "(event-driven, no ledger scans); planning against it"
+    )
     outcome = purchase_path(
         deployment, host, crossings, start=start, expiry=start + 600,
         bandwidth_kbps=4_000,  # 4 Mbps: a 1080p video call (§4.4)

@@ -12,6 +12,13 @@ posted price per kbps-second, so a purchase costs::
 
 Payment flows buyer-coin -> seller-coin inside the same transaction, so an
 atomic multi-hop purchase either pays every AS or nobody (C1/atomicity).
+
+Every listing state change emits an event carrying the full listing
+snapshot — ``Listed`` (new listing), ``Relisted`` (a sale remainder kept
+on the market under a fresh listing), ``Delisted`` (seller cancel), and
+``Sold`` (with ``listing_closed`` or the surviving listing's ``remaining``
+rectangle) — so an off-chain :class:`~repro.marketdata.MarketIndexer` can
+track the market incrementally and never needs to rescan the object store.
 """
 
 from __future__ import annotations
@@ -84,15 +91,7 @@ class MarketContract(Contract):
         )
         market.payload["listing_count"] += 1
         ctx.mutate(market)
-        ctx.emit(
-            "Listed",
-            {
-                "listing": listing.object_id,
-                "asset": asset,
-                "isd": asset_object.payload["isd"],
-                "asn": asset_object.payload["asn"],
-            },
-        )
+        ctx.emit("Listed", _listing_snapshot(listing, asset_object))
         return {"listing": listing.object_id}
 
     def cancel_listing(self, ctx: CallContext, marketplace: str, listing: str) -> dict:
@@ -107,6 +106,14 @@ class MarketContract(Contract):
         ctx.delete_object(listing_object)
         market.payload["listing_count"] -= 1
         ctx.mutate(market)
+        ctx.emit(
+            "Delisted",
+            {
+                "marketplace": marketplace,
+                "listing": listing,
+                "asset": asset_object.object_id,
+            },
+        )
         return {"asset": asset_object.object_id}
 
     # -- buying -------------------------------------------------------------------
@@ -185,13 +192,26 @@ class MarketContract(Contract):
 
         ctx.transfer(bought, ctx.sender)
         ctx.mutate(market)
+        listing_closed = bought.object_id == asset_object.object_id
         ctx.emit(
             "Sold",
             {
+                "marketplace": marketplace,
                 "listing": listing,
                 "asset": bought.object_id,
                 "price_mist": int(price_mist),
                 "buyer": ctx.sender,
+                "listing_closed": listing_closed,
+                # The rectangle the original listing keeps (its asset was
+                # mutated by the splits above) — what an indexer needs to
+                # shrink the listing without reading the object store.
+                "remaining": None
+                if listing_closed
+                else {
+                    "bandwidth_kbps": asset_object.payload["bandwidth_kbps"],
+                    "start": asset_object.payload["start"],
+                    "expiry": asset_object.payload["expiry"],
+                },
             },
         )
         return {"asset": bought.object_id, "price_mist": int(price_mist)}
@@ -200,7 +220,7 @@ class MarketContract(Contract):
 
     def _relist(self, ctx: CallContext, market, original_listing, asset_object) -> None:
         """Keep a remainder asset on the market under a fresh listing."""
-        ctx.create_object(
+        listing = ctx.create_object(
             LISTING_TYPE,
             {
                 "marketplace": original_listing.payload["marketplace"],
@@ -213,3 +233,25 @@ class MarketContract(Contract):
             owner=original_listing.payload["marketplace"],
         )
         market.payload["listing_count"] += 1
+        ctx.emit("Relisted", _listing_snapshot(listing, asset_object))
+
+
+def _listing_snapshot(listing, asset_object) -> dict:
+    """Full listing state for Listed/Relisted events (indexer consumption)."""
+    asset = asset_object.payload
+    return {
+        "marketplace": listing.payload["marketplace"],
+        "listing": listing.object_id,
+        "asset": asset_object.object_id,
+        "seller": listing.payload["seller"],
+        "price_micromist_per_unit": listing.payload["price_micromist_per_unit"],
+        "isd": asset["isd"],
+        "asn": asset["asn"],
+        "interface": asset["interface"],
+        "is_ingress": asset["is_ingress"],
+        "bandwidth_kbps": asset["bandwidth_kbps"],
+        "start": asset["start"],
+        "expiry": asset["expiry"],
+        "granularity": asset["granularity"],
+        "min_bandwidth_kbps": asset["min_bandwidth_kbps"],
+    }

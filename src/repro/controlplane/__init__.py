@@ -2,10 +2,14 @@
 
 from repro.controlplane.asclient import AsService, DeliveryRecord
 from repro.controlplane.hostclient import (
+    BudgetExceeded,
     HopRequirement,
     HostClient,
+    IncompatibleGranularity,
     ListingNotFound,
     PurchasePlan,
+    ResolvedHop,
+    plan_from_quote,
 )
 from repro.controlplane.manager import ReservationLease, ReservationManager
 from repro.controlplane.pki import CpPki
@@ -19,11 +23,14 @@ from repro.controlplane.workflow import (
 
 __all__ = [
     "AsService",
+    "BudgetExceeded",
     "DeliveryRecord",
     "HopRequirement",
     "HostClient",
+    "IncompatibleGranularity",
     "ListingNotFound",
     "PurchasePlan",
+    "ResolvedHop",
     "ReservationLease",
     "ReservationManager",
     "CpPki",
@@ -31,5 +38,6 @@ __all__ = [
     "MarketDeployment",
     "PurchaseOutcome",
     "deploy_market",
+    "plan_from_quote",
     "purchase_path",
 ]

@@ -28,7 +28,7 @@ import random
 from dataclasses import dataclass
 
 from repro.admission import ACTIVE, AdmissionController, AdmissionRejected
-from repro.contracts.asset import DELIVERY_TYPE, REQUEST_TYPE
+from repro.contracts.asset import REQUEST_TYPE
 from repro.crypto.prf import DEFAULT_PRF_FACTORY, PrfFactory
 from repro.crypto.sealing import seal
 from repro.hummingbird.reservation import ResInfo, grant_reservation
@@ -205,6 +205,27 @@ class AsService:
             # The ledger refused the asset: hand its capacity back.
             self.admission.release(interface, is_ingress, decision.commitment)
         return submitted
+
+    def cancel_listing(self, marketplace: str, listing: str) -> SubmittedTransaction:
+        """Take one of this AS's unsold listings off the market.
+
+        The asset returns to the AS's account; the contract emits
+        ``Delisted`` so off-chain indexes drop the listing incrementally.
+        Issued-calendar capacity stays committed — the asset still exists
+        and can be relisted.
+        """
+        return self.executor.submit(
+            Transaction(
+                sender=self.account.address,
+                commands=[
+                    Command(
+                        "market",
+                        "cancel_listing",
+                        {"marketplace": marketplace, "listing": listing},
+                    )
+                ],
+            )
+        )
 
     # -- redemption handling -------------------------------------------------------
 

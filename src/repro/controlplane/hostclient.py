@@ -1,31 +1,59 @@
 """Host-side control-plane client (§3.2 client stack).
 
-The host discovers listings (an off-chain indexer scan over the object
-store), assembles an **atomic buy-and-redeem** transaction covering every
-hop it wants to reserve — buy ingress asset, buy egress asset, redeem the
-pair, for each AS crossing — and later decrypts the sealed reservations the
-ASes deliver.
+The host discovers listings through an off-chain :class:`MarketIndexer`
+(incremental, event-driven — never a ledger rescan), plans purchases
+declaratively (:class:`ListingQuery`/:class:`PathSpec` in, ranked
+:class:`PathQuote`\\ s out), assembles an **atomic buy-and-redeem**
+transaction covering every hop it wants to reserve — buy ingress asset,
+buy egress asset, redeem the pair, for each AS crossing — and later
+decrypts the sealed reservations the ASes deliver.
 
 Atomicity is the ledger's: if any hop cannot be bought (sold out, price
 moved, insufficient funds), the whole transaction aborts and no money moves
-(§4.2 "Atomic End-to-End Guarantees").
+(§4.2 "Atomic End-to-End Guarantees").  On top of that, a client-side
+``max_price_mist`` guard repriced against the live index refuses to submit
+at all when a scarcity-price move since planning would bust the budget.
+
+The tuple-returning ``find_listing`` and per-hop ``plan_purchase`` calls
+remain as thin deprecation shims over the v2 planner.
 """
 
 from __future__ import annotations
 
 import json
 import random
+import warnings
 from dataclasses import dataclass
 
 from repro.contracts.asset import DELIVERY_TYPE, ASSET_TYPE
-from repro.contracts.market import LISTING_TYPE, MICROMIST
 from repro.crypto.sealing import KeyPair, SealedBox, unseal
 from repro.hummingbird.reservation import FlyoverReservation, ResInfo
 from repro.ledger.accounts import Account
 from repro.ledger.executor import LedgerExecutor, SubmittedTransaction
 from repro.ledger.transactions import Command, Result, Transaction
+from repro.marketdata import (
+    BudgetExceeded,
+    IncompatibleGranularity,
+    ListingNotFound,
+    ListingQuery,
+    MarketIndexer,
+    PathQuote,
+    PathSpec,
+    PurchasePlanner,
+)
 from repro.scion.addresses import IsdAs
 from repro.scion.paths import AsCrossing
+
+__all__ = [
+    "BudgetExceeded",
+    "HopRequirement",
+    "HostClient",
+    "IncompatibleGranularity",
+    "ListingNotFound",
+    "PurchasePlan",
+    "ResolvedHop",
+    "plan_from_quote",
+]
 
 
 @dataclass(frozen=True)
@@ -67,6 +95,8 @@ class ResolvedHop:
     buy_start: int
     buy_expiry: int
     price_mist: int
+    ingress_price_mist: int = 0
+    egress_price_mist: int = 0
 
 
 @dataclass
@@ -75,14 +105,39 @@ class PurchasePlan:
 
     requirements: list[HopRequirement]
     hops: list[ResolvedHop]
+    quote: PathQuote | None = None
 
     @property
     def estimated_price_mist(self) -> int:
         return sum(hop.price_mist for hop in self.hops)
 
 
-class ListingNotFound(LookupError):
-    """No listing covers the requested interface/time/bandwidth rectangle."""
+def plan_from_quote(quote: PathQuote) -> PurchasePlan:
+    """Materialize a planner quote into an executable purchase plan."""
+    requirements = [
+        HopRequirement(
+            isd_as=hop.isd_as,
+            ingress=hop.ingress,
+            egress=hop.egress,
+            start=quote.start,
+            expiry=quote.expiry,
+            bandwidth_kbps=quote.bandwidth_kbps,
+        )
+        for hop in quote.hops
+    ]
+    hops = [
+        ResolvedHop(
+            ingress_listing=hop.ingress_candidate.listing.listing_id,
+            egress_listing=hop.egress_candidate.listing.listing_id,
+            buy_start=hop.start,
+            buy_expiry=hop.expiry,
+            price_mist=hop.price_mist,
+            ingress_price_mist=hop.ingress_candidate.price_mist,
+            egress_price_mist=hop.egress_candidate.price_mist,
+        )
+        for hop in quote.hops
+    ]
+    return PurchasePlan(requirements=requirements, hops=hops, quote=quote)
 
 
 class HostClient:
@@ -100,6 +155,8 @@ class HostClient:
         self.payment_coin: str | None = None
         self._ephemeral_keys: list[KeyPair] = []
         self._delivery_checkpoint = 0
+        self._indexers: dict[str, MarketIndexer] = {}
+        self._planners: dict[str, PurchasePlanner] = {}
 
     # -- funding ---------------------------------------------------------------
 
@@ -118,6 +175,40 @@ class HostClient:
 
     # -- discovery ---------------------------------------------------------------
 
+    def attach_indexer(self, marketplace: str, indexer: MarketIndexer) -> None:
+        """Share an existing index (e.g. the deployment-wide one).
+
+        Indexing is off-chain infrastructure; hosts of one deployment
+        normally consult one shared index instead of each replaying the
+        event stream.
+        """
+        self._indexers[marketplace] = indexer
+        self._planners.pop(marketplace, None)
+
+    def indexer(self, marketplace: str) -> MarketIndexer:
+        found = self._indexers.get(marketplace)
+        if found is None:
+            found = MarketIndexer(self.executor.ledger, marketplace)
+            self._indexers[marketplace] = found
+        return found
+
+    def planner(self, marketplace: str) -> PurchasePlanner:
+        found = self._planners.get(marketplace)
+        if found is None:
+            found = PurchasePlanner(self.indexer(marketplace))
+            self._planners[marketplace] = found
+        return found
+
+    def quote_path(self, marketplace: str, spec: PathSpec) -> list[PathQuote]:
+        """Every distinct priced way to reserve the path, cheapest first."""
+        return self.planner(marketplace).quote(spec)
+
+    def plan_path(self, marketplace: str, spec: PathSpec) -> PurchasePlan:
+        """The cheapest in-budget quote, materialized into a purchase plan."""
+        return plan_from_quote(self.planner(marketplace).best(spec))
+
+    # -- legacy v1 surface (deprecation shims) -------------------------------------
+
     def find_listing(
         self,
         marketplace: str,
@@ -129,94 +220,70 @@ class HostClient:
         bandwidth_kbps: int,
         exact_window: bool = False,
     ) -> tuple[str, int, int, int]:
-        """Locate the cheapest listing covering the requested rectangle.
+        """Deprecated: build a :class:`ListingQuery` and use the indexer.
 
-        The purchase window is aligned *outward* to the asset's time
-        granularity (you buy whole granules); with ``exact_window`` the
-        aligned window must equal the requested one (used to match the
-        egress asset to the already-resolved ingress window).
-
-        Returns (listing id, price in MIST, aligned start, aligned expiry).
-        This is an off-chain indexer query; the authoritative checks happen
-        inside ``buy``.
+        Returns (listing id, price in MIST, aligned start, aligned expiry)
+        like v1 did; the answer now comes from the incremental index
+        instead of a full ledger scan.
         """
-        ledger = self.executor.ledger
-        best: tuple[str, int, int, int] | None = None
-        for obj in ledger.objects.values():
-            if obj.type_tag != LISTING_TYPE:
-                continue
-            if obj.payload["marketplace"] != marketplace:
-                continue
-            asset = ledger.objects.get(obj.payload["asset"])
-            if asset is None:
-                continue
-            payload = asset.payload
-            if (payload["isd"], payload["asn"]) != (isd_as.isd, isd_as.asn):
-                continue
-            if payload["interface"] != interface or payload["is_ingress"] != is_ingress:
-                continue
-            aligned = _align_window(payload, start, expiry)
-            if aligned is None:
-                continue
-            buy_start, buy_expiry = aligned
-            if exact_window and (buy_start, buy_expiry) != (start, expiry):
-                continue
-            if payload["bandwidth_kbps"] < bandwidth_kbps:
-                continue
-            remainder = payload["bandwidth_kbps"] - bandwidth_kbps
-            if bandwidth_kbps < payload["min_bandwidth_kbps"]:
-                continue
-            if 0 < remainder < payload["min_bandwidth_kbps"]:
-                continue
-            unit_price = obj.payload["price_micromist_per_unit"]
-            price = -(
-                -bandwidth_kbps * (buy_expiry - buy_start) * unit_price // MICROMIST
+        warnings.warn(
+            "find_listing is deprecated; use ListingQuery + MarketIndexer.best",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        try:
+            query = ListingQuery(
+                isd_as=isd_as,
+                interface=interface,
+                is_ingress=is_ingress,
+                start=start,
+                expiry=expiry,
+                bandwidth_kbps=bandwidth_kbps,
+                exact_window=exact_window,
             )
-            if best is None or price < best[1]:
-                best = (obj.object_id, price, buy_start, buy_expiry)
-        if best is None:
+        except ValueError:
+            # v1 answered degenerate requests (empty window, bandwidth 0)
+            # with ListingNotFound, not ValueError; keep that contract.
+            query = None
+        found = self.indexer(marketplace).best(query) if query is not None else None
+        if found is None:
             raise ListingNotFound(
                 f"no listing at {isd_as} if={interface} "
                 f"{'ingress' if is_ingress else 'egress'} covers "
                 f"[{start},{expiry})x{bandwidth_kbps}kbps"
                 + (" (exact window)" if exact_window else "")
             )
-        return best
+        return found.as_tuple()
 
     def plan_purchase(
         self, marketplace: str, requirements: list[HopRequirement]
     ) -> PurchasePlan:
-        """Resolve listings for every hop and estimate the total price."""
+        """Deprecated: use :meth:`plan_path` with a :class:`PathSpec`."""
+        warnings.warn(
+            "plan_purchase is deprecated; use plan_path with a PathSpec",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        planner = self.planner(marketplace)
         hops: list[ResolvedHop] = []
         for requirement in requirements:
-            ingress_listing, price_in, buy_start, buy_expiry = self.find_listing(
-                marketplace,
+            resolved = planner.resolve_hop(
                 requirement.isd_as,
                 requirement.ingress,
-                True,
+                requirement.egress,
                 requirement.start,
                 requirement.expiry,
                 requirement.bandwidth_kbps,
             )
-            # The egress asset must match the ingress window exactly or the
-            # redeem would abort on incompatible assets.
-            egress_listing, price_eg, _, _ = self.find_listing(
-                marketplace,
-                requirement.isd_as,
-                requirement.egress,
-                False,
-                buy_start,
-                buy_expiry,
-                requirement.bandwidth_kbps,
-                exact_window=True,
-            )
             hops.append(
                 ResolvedHop(
-                    ingress_listing=ingress_listing,
-                    egress_listing=egress_listing,
-                    buy_start=buy_start,
-                    buy_expiry=buy_expiry,
-                    price_mist=price_in + price_eg,
+                    ingress_listing=resolved.ingress_candidate.listing.listing_id,
+                    egress_listing=resolved.egress_candidate.listing.listing_id,
+                    buy_start=resolved.start,
+                    buy_expiry=resolved.expiry,
+                    price_mist=resolved.price_mist,
+                    ingress_price_mist=resolved.ingress_candidate.price_mist,
+                    egress_price_mist=resolved.egress_candidate.price_mist,
                 )
             )
         return PurchasePlan(requirements=requirements, hops=hops)
@@ -224,11 +291,32 @@ class HostClient:
     # -- atomic purchase ------------------------------------------------------------
 
     def atomic_buy_and_redeem(
-        self, marketplace: str, plan: PurchasePlan
+        self,
+        marketplace: str,
+        plan: PurchasePlan,
+        max_price_mist: int | None = None,
     ) -> SubmittedTransaction:
-        """One transaction: buy ingress+egress and redeem, for every hop."""
+        """One transaction: buy ingress+egress and redeem, for every hop.
+
+        With ``max_price_mist`` the plan is repriced against the live index
+        first (vanished listings substituted with their exact-window
+        replacements) and the purchase aborts client-side (no transaction,
+        no gas) when the fresh estimate exceeds the budget — a
+        scarcity-price move between planning and buying cannot silently
+        overspend.  The authoritative paid price is whatever ``Sold``
+        reports on-chain.
+        """
         if self.payment_coin is None:
             raise RuntimeError("fund() the client before buying")
+        if max_price_mist is not None:
+            estimate, repriced = self.reprice(marketplace, plan)
+            if estimate > max_price_mist:
+                raise BudgetExceeded(
+                    f"plan repriced at {estimate} MIST (planned "
+                    f"{plan.estimated_price_mist}), over the "
+                    f"{max_price_mist} MIST budget; not submitting"
+                )
+            plan = repriced
         ephemeral = KeyPair.generate(self.rng)
         self._ephemeral_keys.append(ephemeral)
         commands: list[Command] = []
@@ -276,6 +364,76 @@ class HostClient:
         return self.executor.submit(
             Transaction(sender=self.account.address, commands=commands)
         )
+
+    def reprice(self, marketplace: str, plan: PurchasePlan) -> tuple[int, PurchasePlan]:
+        """Re-estimate a plan against the live index; returns
+        ``(fresh estimate, effective plan)``.
+
+        Listed unit prices are immutable on-chain, so a planned listing
+        that still covers its leg reprices to the planned amount; a
+        scarcity-price move materializes as the planned listing
+        *disappearing* (sold out, cancelled) and pricier replacements
+        taking its place.  Such legs are **substituted** with the live
+        cheapest exact-window replacement in the returned plan, so a
+        submission that passes the budget guard buys viable listings at
+        exactly the repriced amounts.  A leg nothing covers anymore keeps
+        its planned listing and share: the atomic transaction will abort
+        without charging a thing for it anyway.
+        """
+        indexer = self.indexer(marketplace)
+        indexer.sync()
+        hops: list[ResolvedHop] = []
+        for requirement, hop in zip(plan.requirements, plan.hops):
+            ids: dict[bool, str] = {}
+            prices: dict[bool, int] = {}
+            for listing_id, planned, interface, is_ingress in (
+                (hop.ingress_listing, hop.ingress_price_mist, requirement.ingress, True),
+                (hop.egress_listing, hop.egress_price_mist, requirement.egress, False),
+            ):
+                record = indexer.listing(listing_id)
+                covers = (
+                    record is not None
+                    and record.align(hop.buy_start, hop.buy_expiry)
+                    == (hop.buy_start, hop.buy_expiry)
+                    and record.sellable(requirement.bandwidth_kbps)
+                )
+                if covers:
+                    ids[is_ingress] = listing_id
+                    prices[is_ingress] = record.price_for(
+                        requirement.bandwidth_kbps, hop.buy_start, hop.buy_expiry
+                    )
+                    continue
+                replacement = indexer.best(
+                    ListingQuery(
+                        isd_as=requirement.isd_as,
+                        interface=interface,
+                        is_ingress=is_ingress,
+                        start=hop.buy_start,
+                        expiry=hop.buy_expiry,
+                        bandwidth_kbps=requirement.bandwidth_kbps,
+                        exact_window=True,
+                    ),
+                    sync=False,
+                )
+                if replacement is not None:
+                    ids[is_ingress] = replacement.listing.listing_id
+                    prices[is_ingress] = replacement.price_mist
+                else:
+                    ids[is_ingress] = listing_id
+                    prices[is_ingress] = planned
+            hops.append(
+                ResolvedHop(
+                    ingress_listing=ids[True],
+                    egress_listing=ids[False],
+                    buy_start=hop.buy_start,
+                    buy_expiry=hop.buy_expiry,
+                    price_mist=prices[True] + prices[False],
+                    ingress_price_mist=prices[True],
+                    egress_price_mist=prices[False],
+                )
+            )
+        fresh = PurchasePlan(requirements=plan.requirements, hops=hops, quote=plan.quote)
+        return fresh.estimated_price_mist, fresh
 
     # -- delivery ------------------------------------------------------------------
 
@@ -326,21 +484,3 @@ class HostClient:
     def owned_assets(self) -> list:
         """Bandwidth assets currently owned by this host (test helper)."""
         return self.executor.ledger.objects_owned_by(self.account.address, ASSET_TYPE)
-
-
-def _align_window(payload: dict, start: int, expiry: int) -> tuple[int, int] | None:
-    """Smallest granule-aligned window of ``payload`` covering [start, expiry).
-
-    Returns None when the requested window is empty or falls outside the
-    asset's validity interval.
-    """
-    if expiry <= start:
-        return None
-    granularity = payload["granularity"]
-    anchor = payload["start"]
-    buy_start = anchor + (start - anchor) // granularity * granularity
-    over = (expiry - anchor) % granularity
-    buy_expiry = expiry if over == 0 else expiry + granularity - over
-    if buy_start < payload["start"] or buy_expiry > payload["expiry"]:
-        return None
-    return buy_start, buy_expiry

@@ -12,9 +12,9 @@ API — the kind of component a downstream user would otherwise write first.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.controlplane.hostclient import HopRequirement, HostClient
+from repro.controlplane.hostclient import HostClient
 from repro.controlplane.workflow import MarketDeployment, PurchaseOutcome, purchase_path
 from repro.hummingbird.reservation import FlyoverReservation
 from repro.scion.paths import AsCrossing
@@ -49,27 +49,46 @@ class ReservationManager:
         bandwidth_kbps: int,
         window_seconds: int = 600,
         renew_margin: float = 60.0,
+        flex_start: int = 0,
+        budget_mist_per_window: int | None = None,
     ) -> None:
+        """``flex_start`` lets the FIRST window slide up to that many
+        seconds later chasing cheaper granules; renewals never use it —
+        they must start exactly at the previous expiry or coverage would
+        gap.  ``budget_mist_per_window`` caps what any single window may
+        cost — a scarcity-price spike then raises
+        :class:`~repro.marketdata.BudgetExceeded` instead of overspending.
+        """
         if window_seconds <= 0:
             raise ValueError("window must be positive")
         if renew_margin >= window_seconds:
             raise ValueError("renewal margin must be shorter than the window")
+        if flex_start < 0:
+            raise ValueError("flex must be non-negative")
         self.deployment = deployment
         self.host = host
         self.crossings = crossings
         self.bandwidth_kbps = bandwidth_kbps
         self.window_seconds = window_seconds
         self.renew_margin = renew_margin
+        self.flex_start = flex_start
+        self.budget_mist_per_window = budget_mist_per_window
         self.leases: list[ReservationLease] = []
         self.total_price_mist = 0
+        self.total_estimated_mist = 0
 
     # -- public API -----------------------------------------------------------
 
     def start(self, first_start: int) -> ReservationLease:
-        """Buy the first window, starting at ``first_start``."""
+        """Buy the first window, starting at ``first_start``.
+
+        Only the first window uses ``flex_start`` (a cheaper later start
+        just delays when coverage begins); renewals must begin exactly at
+        the previous expiry or coverage would gap.
+        """
         if self.leases:
             raise RuntimeError("manager already started")
-        return self._buy_window(first_start)
+        return self._buy_window(first_start, flex_start=self.flex_start)
 
     def tick(self, now: float) -> ReservationLease | None:
         """Renew if the active lease is within the renewal margin.
@@ -100,7 +119,7 @@ class ReservationManager:
 
     # -- internals ----------------------------------------------------------------
 
-    def _buy_window(self, start: int) -> ReservationLease:
+    def _buy_window(self, start: int, flex_start: int = 0) -> ReservationLease:
         outcome = purchase_path(
             self.deployment,
             self.host,
@@ -108,6 +127,8 @@ class ReservationManager:
             start=start,
             expiry=start + self.window_seconds,
             bandwidth_kbps=self.bandwidth_kbps,
+            flex_start=flex_start,
+            max_price_mist=self.budget_mist_per_window,
         )
         lease = ReservationLease(
             start=min(r.resinfo.start for r in outcome.reservations),
@@ -117,4 +138,5 @@ class ReservationManager:
         )
         self.leases.append(lease)
         self.total_price_mist += outcome.price_mist
+        self.total_estimated_mist += outcome.estimated_price_mist
         return lease

@@ -25,8 +25,9 @@ from repro.contracts.asset import AssetContract
 from repro.contracts.coin import CoinContract
 from repro.contracts.market import MarketContract
 from repro.controlplane.asclient import AsService
-from repro.controlplane.hostclient import HopRequirement, HostClient, PurchasePlan
+from repro.controlplane.hostclient import HostClient, plan_from_quote
 from repro.controlplane.pki import CpPki
+from repro.marketdata import MarketIndexer, PathSpec, PurchasePlanner
 from repro.crypto.prf import DEFAULT_PRF_FACTORY, PrfFactory
 from repro.hummingbird.reservation import FlyoverReservation
 from repro.ledger.accounts import Account, sui_to_mist
@@ -55,12 +56,20 @@ class LatencyBreakdown:
 
 @dataclass
 class PurchaseOutcome:
-    """Everything the host got out of one atomic path purchase."""
+    """Everything the host got out of one atomic path purchase.
+
+    ``price_mist`` is the authoritative total the ``Sold`` events report
+    on-chain; ``estimated_price_mist`` is what the plan quoted before
+    submission — equal in a calm market, and the ``max_price_mist`` guard
+    keeps any divergence inside the caller's budget.
+    """
 
     reservations: list[FlyoverReservation]
     latency: LatencyBreakdown
     price_mist: int
     gas: object  # GasSummary of the buy-and-redeem transaction
+    estimated_price_mist: int = 0
+    quote: object = None  # the PathQuote the purchase executed
 
 
 @dataclass
@@ -74,6 +83,17 @@ class MarketDeployment:
     services: dict = field(default_factory=dict)  # IsdAs -> AsService
     clock: Clock | None = None
     rng: random.Random | None = None
+    indexer: MarketIndexer | None = None
+
+    def __post_init__(self) -> None:
+        if self.indexer is None:
+            self.indexer = MarketIndexer(self.ledger, self.marketplace)
+        self._planner = PurchasePlanner(self.indexer)
+
+    @property
+    def planner(self) -> PurchasePlanner:
+        """The deployment-wide planner over the shared off-chain index."""
+        return self._planner
 
     def service(self, isd_as) -> AsService:
         return self.services[isd_as]
@@ -82,6 +102,7 @@ class MarketDeployment:
         account = Account.generate(self.rng, name)
         host = HostClient(account, self.executor, self.rng)
         host.fund(sui_to_mist(funding_sui))
+        host.attach_indexer(self.marketplace, self.indexer)
         return host
 
 
@@ -199,14 +220,29 @@ def purchase_path(
     expiry: int,
     bandwidth_kbps: int,
     observation_delay: tuple[float, float] = (0.05, 0.30),
+    flex_start: int = 0,
+    max_price_mist: int | None = None,
 ) -> PurchaseOutcome:
-    """Run the Fig. 2 workflow for a path and measure Fig. 4 latencies."""
-    requirements = [
-        HopRequirement.from_crossing(crossing, start, expiry, bandwidth_kbps)
-        for crossing in crossings
-    ]
-    plan = host.plan_purchase(deployment.marketplace, requirements)
-    submitted = host.atomic_buy_and_redeem(deployment.marketplace, plan)
+    """Run the Fig. 2 workflow for a path and measure Fig. 4 latencies.
+
+    ``flex_start`` lets the planner slide the whole window up to that many
+    seconds later when a cheaper granule exists (buy the valley, not the
+    peak); ``max_price_mist`` caps the price both at quote time and again
+    at submission (repriced against the live index).
+    """
+    spec = PathSpec.from_crossings(
+        crossings,
+        start,
+        expiry,
+        bandwidth_kbps,
+        flex_start=flex_start,
+        budget_mist=max_price_mist,
+    )
+    quote = deployment.planner.best(spec)
+    plan = plan_from_quote(quote)
+    submitted = host.atomic_buy_and_redeem(
+        deployment.marketplace, plan, max_price_mist=max_price_mist
+    )
     if not submitted.effects.ok:
         raise RuntimeError(f"atomic buy-and-redeem aborted: {submitted.effects.error}")
     request_latency = submitted.latency
@@ -233,4 +269,6 @@ def purchase_path(
         latency=LatencyBreakdown(request=request_latency, response=response_latency),
         price_mist=price,
         gas=submitted.effects.gas,
+        estimated_price_mist=plan.estimated_price_mist,
+        quote=quote,
     )

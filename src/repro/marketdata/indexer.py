@@ -1,0 +1,351 @@
+"""Event-driven market index: incremental, per-interface, vectorized.
+
+The paper's host stack assumes an **off-chain indexer** (§3.2) between the
+ledger and the buyers: hosts should never scan the whole object store to
+find a listing.  :class:`MarketIndexer` consumes the marketplace's event
+stream *incrementally* — ``Listed``/``Relisted`` add listings,
+``Delisted`` removes them, ``Sold`` shrinks or removes the listing the
+purchase carved from — so the index is always a pure function of the
+events applied so far and never needs a rescan.
+
+Listings are bucketed per ``(isd, asn, interface, direction)`` key; each
+bucket keeps its listings sorted by asset start and lazily compiles them
+into parallel numpy arrays (the same compile-on-demand idiom as
+``repro.admission.calendar``).  A rectangle-cover query bisects the sorted
+starts for the candidate prefix (``O(log n)`` selection) and prices every
+candidate in one vectorized pass — granule alignment, minimum-bandwidth
+rules and ceil pricing exactly mirror the market contract, so the quoted
+price is the price ``buy`` will charge.
+
+Ties are broken deterministically by (price, aligned start, listing id);
+:mod:`repro.marketdata.naive` implements the same contract by full-ledger
+scan for differential testing.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+
+import numpy as np
+
+from repro.marketdata.query import (
+    MICROMIST,
+    Candidate,
+    IndexedListing,
+    ListingQuery,
+)
+
+_ADD_EVENTS = ("Listed", "Relisted")
+
+
+class _KeyIndex:
+    """All live listings of one (isd, asn, interface, direction) key."""
+
+    __slots__ = (
+        "records",
+        "_order",
+        "_dirty",
+        "_ids",
+        "_starts",
+        "_expiries",
+        "_bandwidths",
+        "_min_bws",
+        "_granularities",
+        "_unit_prices",
+    )
+
+    def __init__(self) -> None:
+        self.records: dict[str, IndexedListing] = {}
+        self._order: list[tuple[int, str]] = []  # (start, listing_id), sorted
+        self._dirty = False
+        self._compile([])
+
+    # -- mutation ---------------------------------------------------------------
+
+    def add(self, record: IndexedListing) -> None:
+        self.records[record.listing_id] = record
+        bisect.insort(self._order, (record.start, record.listing_id))
+        self._dirty = True
+
+    def remove(self, listing_id: str) -> None:
+        record = self.records.pop(listing_id, None)
+        if record is None:
+            return
+        index = bisect.bisect_left(self._order, (record.start, listing_id))
+        if index < len(self._order) and self._order[index][1] == listing_id:
+            del self._order[index]
+        self._dirty = True
+
+    def update_rectangle(
+        self, listing_id: str, bandwidth_kbps: int, start: int, expiry: int
+    ) -> None:
+        """Shrink a listing after a partial sale mutated its asset."""
+        record = self.records.get(listing_id)
+        if record is None:
+            return
+        if record.start != start:
+            index = bisect.bisect_left(self._order, (record.start, listing_id))
+            if index < len(self._order) and self._order[index][1] == listing_id:
+                del self._order[index]
+            bisect.insort(self._order, (start, listing_id))
+        self.records[listing_id] = dataclasses.replace(
+            record, bandwidth_kbps=bandwidth_kbps, start=start, expiry=expiry
+        )
+        self._dirty = True
+
+    # -- compiled arrays ----------------------------------------------------------
+
+    def _compile(self, records: list[IndexedListing]) -> None:
+        self._ids = [record.listing_id for record in records]
+        self._starts = np.array([r.start for r in records], dtype=np.int64)
+        self._expiries = np.array([r.expiry for r in records], dtype=np.int64)
+        self._bandwidths = np.array([r.bandwidth_kbps for r in records], dtype=np.int64)
+        self._min_bws = np.array([r.min_bandwidth_kbps for r in records], dtype=np.int64)
+        self._granularities = np.array([r.granularity for r in records], dtype=np.int64)
+        self._unit_prices = np.array(
+            [r.price_micromist_per_unit for r in records], dtype=np.int64
+        )
+
+    def _compiled(self) -> None:
+        if self._dirty:
+            self._compile([self.records[listing_id] for _, listing_id in self._order])
+            self._dirty = False
+
+    # -- queries ------------------------------------------------------------------
+
+    def _evaluate(self, start: int, expiry: int, bandwidth_kbps: int, exact_window: bool):
+        """Vectorized cover test: (valid indices, aligned windows, prices)."""
+        if not self.records or expiry <= start:
+            return None
+        self._compiled()
+        # Only listings whose asset starts at or before the query can cover
+        # it: O(log n) prefix selection, then one vectorized pricing pass.
+        prefix = int(np.searchsorted(self._starts, start, side="right"))
+        if prefix == 0:
+            return None
+        anchors = self._starts[:prefix]
+        granules = self._granularities[:prefix]
+        aligned_start = anchors + (start - anchors) // granules * granules
+        over = (expiry - anchors) % granules
+        aligned_expiry = np.where(over == 0, expiry, expiry + granules - over)
+        remainder = self._bandwidths[:prefix] - bandwidth_kbps
+        ok = (
+            (aligned_expiry <= self._expiries[:prefix])
+            & (remainder >= 0)
+            & (bandwidth_kbps >= self._min_bws[:prefix])
+            & ((remainder == 0) | (remainder >= self._min_bws[:prefix]))
+        )
+        if exact_window:
+            ok &= (aligned_start == start) & (aligned_expiry == expiry)
+        if not ok.any():
+            return None
+        units = bandwidth_kbps * (aligned_expiry - aligned_start)
+        prices = -(-units * self._unit_prices[:prefix] // MICROMIST)
+        return np.flatnonzero(ok), aligned_start, aligned_expiry, prices
+
+    def _candidate(self, position: int, aligned_start, aligned_expiry, prices) -> Candidate:
+        return Candidate(
+            listing=self.records[self._ids[position]],
+            price_mist=int(prices[position]),
+            start=int(aligned_start[position]),
+            expiry=int(aligned_expiry[position]),
+        )
+
+    def best(
+        self, start: int, expiry: int, bandwidth_kbps: int, exact_window: bool = False
+    ) -> Candidate | None:
+        """Cheapest listing covering the rectangle; deterministic tie-break."""
+        evaluated = self._evaluate(start, expiry, bandwidth_kbps, exact_window)
+        if evaluated is None:
+            return None
+        valid, aligned_start, aligned_expiry, prices = evaluated
+        best_price = prices[valid].min()
+        tie = valid[prices[valid] == best_price]
+        earliest = aligned_start[tie].min()
+        tie = tie[aligned_start[tie] == earliest]
+        position = min((int(i) for i in tie), key=lambda i: self._ids[i])
+        return self._candidate(position, aligned_start, aligned_expiry, prices)
+
+    def candidates(
+        self, start: int, expiry: int, bandwidth_kbps: int, limit: int
+    ) -> list[Candidate]:
+        """Up to ``limit`` cheapest covers, same ordering as :meth:`best`."""
+        evaluated = self._evaluate(start, expiry, bandwidth_kbps, False)
+        if evaluated is None:
+            return []
+        valid, aligned_start, aligned_expiry, prices = evaluated
+        order = sorted(
+            (int(i) for i in valid),
+            key=lambda i: (int(prices[i]), int(aligned_start[i]), self._ids[i]),
+        )[:limit]
+        return [
+            self._candidate(position, aligned_start, aligned_expiry, prices)
+            for position in order
+        ]
+
+    def granularities(self) -> set[int]:
+        return {record.granularity for record in self.records.values()}
+
+
+class MarketIndexer:
+    """Incremental off-chain index of one marketplace's live listings.
+
+    ``sync()`` applies every not-yet-seen ledger event (the event list is
+    append-only, so the cursor is a plain position); queries answer from
+    the in-memory structures without touching the object store.
+    """
+
+    def __init__(self, ledger, marketplace: str) -> None:
+        self.ledger = ledger
+        self.marketplace = marketplace
+        self._position = 0
+        self._keys: dict[tuple[int, int, int, bool], _KeyIndex] = {}
+        self._by_listing: dict[str, IndexedListing] = {}
+        self.events_applied = 0
+
+    # -- event consumption -------------------------------------------------------
+
+    def sync(self) -> int:
+        """Apply all new ledger events; returns how many were applied."""
+        events = self.ledger.events
+        applied = 0
+        while self._position < len(events):
+            event = events[self._position]
+            self._position += 1
+            if self._apply(event):
+                applied += 1
+        self.events_applied += applied
+        return applied
+
+    def _apply(self, event) -> bool:
+        if event.event_type in _ADD_EVENTS:
+            payload = event.payload
+            if payload.get("marketplace") != self.marketplace:
+                return False
+            record = IndexedListing.from_event(payload)
+            self._by_listing[record.listing_id] = record
+            self._key_index(record.key).add(record)
+            return True
+        if event.event_type == "Delisted":
+            payload = event.payload
+            if payload.get("marketplace") != self.marketplace:
+                return False
+            self._drop(payload["listing"])
+            return True
+        if event.event_type == "Sold":
+            payload = event.payload
+            if payload.get("marketplace") != self.marketplace:
+                return False
+            listing_id = payload["listing"]
+            if payload.get("listing_closed", True):
+                self._drop(listing_id)
+                return True
+            remaining = payload["remaining"]
+            record = self._by_listing.get(listing_id)
+            if record is not None:
+                self._key_index(record.key).update_rectangle(
+                    listing_id,
+                    remaining["bandwidth_kbps"],
+                    remaining["start"],
+                    remaining["expiry"],
+                )
+                self._by_listing[listing_id] = self._key_index(record.key).records[
+                    listing_id
+                ]
+            return True
+        return False
+
+    def _drop(self, listing_id: str) -> None:
+        record = self._by_listing.pop(listing_id, None)
+        if record is not None:
+            self._key_index(record.key).remove(listing_id)
+
+    def _key_index(self, key: tuple[int, int, int, bool]) -> _KeyIndex:
+        found = self._keys.get(key)
+        if found is None:
+            found = _KeyIndex()
+            self._keys[key] = found
+        return found
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Number of live listings across all keys."""
+        return len(self._by_listing)
+
+    def listing(self, listing_id: str) -> IndexedListing | None:
+        return self._by_listing.get(listing_id)
+
+    def listings(self) -> list[IndexedListing]:
+        return list(self._by_listing.values())
+
+    def best(self, query: ListingQuery, sync: bool = True) -> Candidate | None:
+        """Cheapest cover for a zero-flex query (None when uncovered).
+
+        This is the point-query primitive: ``flex_start`` and
+        ``budget_mist`` are planner concerns, so queries carrying them are
+        rejected rather than silently answered without slack or cap.
+        """
+        if query.flex_start or query.budget_mist is not None:
+            raise ValueError(
+                "MarketIndexer.best answers zero-flex point queries; use "
+                "PurchasePlanner for flex_start/budget_mist handling"
+            )
+        if sync:
+            self.sync()
+        bucket = self._keys.get(query.key)
+        if bucket is None:
+            return None
+        return bucket.best(
+            query.start, query.expiry, query.bandwidth_kbps, query.exact_window
+        )
+
+    def candidates(
+        self, query: ListingQuery, limit: int, sync: bool = True
+    ) -> list[Candidate]:
+        """Up to ``limit`` cheapest covers for a zero-flex query."""
+        if query.flex_start or query.budget_mist is not None:
+            raise ValueError(
+                "MarketIndexer.candidates answers zero-flex point queries; "
+                "use PurchasePlanner for flex_start/budget_mist handling"
+            )
+        if sync:
+            self.sync()
+        bucket = self._keys.get(query.key)
+        if bucket is None:
+            return []
+        return bucket.candidates(query.start, query.expiry, query.bandwidth_kbps, limit)
+
+    def granularities(self, isd_as, interface: int, is_ingress: bool) -> set[int]:
+        """Distinct time granularities live on one interface direction."""
+        bucket = self._keys.get((isd_as.isd, isd_as.asn, interface, is_ingress))
+        return bucket.granularities() if bucket is not None else set()
+
+    def price_curve(
+        self,
+        isd_as,
+        interface: int,
+        is_ingress: bool,
+        bandwidth_kbps: int,
+        duration: int,
+        times,
+        sync: bool = True,
+    ) -> np.ndarray:
+        """Cheapest total MIST price of ``[t, t+duration)`` per start time.
+
+        Uncoverable windows price at ``inf`` — plotting the curve shows the
+        valleys a flexible buyer can slide into.
+        """
+        if sync:
+            self.sync()
+        bucket = self._keys.get((isd_as.isd, isd_as.asn, interface, is_ingress))
+        prices = np.full(len(times), np.inf)
+        if bucket is None:
+            return prices
+        for position, time in enumerate(times):
+            found = bucket.best(int(time), int(time) + duration, bandwidth_kbps)
+            if found is not None:
+                prices[position] = found.price_mist
+        return prices

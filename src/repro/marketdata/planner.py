@@ -1,0 +1,303 @@
+"""Price-reactive purchase planning: buy the valley, not the peak.
+
+:class:`PurchasePlanner` turns a declarative :class:`PathSpec` into ranked
+:class:`PathQuote`\\ s.  For every candidate start offset inside the flex
+range it resolves each AS crossing to an (ingress, egress) listing pair
+over ONE shared granule-aligned window, prices the whole path against the
+indexed scarcity-adjusted listings, and ranks the results by price — so a
+host with start-time slack automatically slides away from expensive peak
+windows, the behaviour SIBRA-style systems and the Grid bulk-transfer
+literature get from malleable reservations.
+
+Hop resolution handles mixed granularities: each listing accepts windows
+on the lattice ``anchor + k*granularity``, and for every candidate
+ingress/egress pair the minimal shared window is computed directly on the
+intersection of the two lattices (CRT over the anchors, step = lcm of the
+granularities) — so 60s and 120s listings settle on the coarser granule
+in one step.  When no pair admits a common window inside the assets'
+validity ranges, the planner raises :class:`IncompatibleGranularity`
+naming both granularities instead of an opaque :class:`ListingNotFound`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.marketdata.indexer import MarketIndexer
+from repro.marketdata.query import (
+    BudgetExceeded,
+    Candidate,
+    IncompatibleGranularity,
+    ListingNotFound,
+    ListingQuery,
+    PathSpec,
+)
+
+# Cheapest covering listings tried per direction when pairing a hop's
+# ingress and egress; bounds the cross-pair lattice search.
+_PAIR_SEARCH_LIMIT = 8
+
+
+@dataclass(frozen=True)
+class HopQuote:
+    """One AS crossing resolved to an ingress/egress listing pair."""
+
+    isd_as: object
+    ingress: int
+    egress: int
+    ingress_candidate: Candidate
+    egress_candidate: Candidate
+
+    @property
+    def start(self) -> int:
+        return self.ingress_candidate.start
+
+    @property
+    def expiry(self) -> int:
+        return self.ingress_candidate.expiry
+
+    @property
+    def price_mist(self) -> int:
+        return self.ingress_candidate.price_mist + self.egress_candidate.price_mist
+
+
+@dataclass(frozen=True)
+class PathQuote:
+    """One fully priced way to reserve the path: window shift + hop pairs."""
+
+    start: int  # requested service start after the shift
+    expiry: int
+    offset: int  # seconds of shift inside the flex range
+    bandwidth_kbps: int
+    hops: tuple[HopQuote, ...]
+
+    @property
+    def price_mist(self) -> int:
+        return sum(hop.price_mist for hop in self.hops)
+
+
+class PurchasePlanner:
+    """Ranked path quotes over a :class:`MarketIndexer`."""
+
+    def __init__(self, indexer: MarketIndexer) -> None:
+        self.indexer = indexer
+
+    # -- single-hop resolution ----------------------------------------------------
+
+    def resolve_hop(
+        self,
+        isd_as,
+        ingress: int,
+        egress: int,
+        start: int,
+        expiry: int,
+        bandwidth_kbps: int,
+        sync: bool = True,
+    ) -> HopQuote:
+        """Cheapest ingress/egress pair sharing one aligned window.
+
+        Enumerates the ``_PAIR_SEARCH_LIMIT`` cheapest covering listings
+        per direction and, for every cross pair, computes the minimal
+        window covering the request that both listings' granule lattices
+        accept (their intersection is CRT-recoverable, or empty when the
+        anchors are incongruent).  Among feasible pairs, the cheapest at
+        its joint window wins — so a cheap listing on an incompatible
+        lattice cannot shadow a compatible one.  The search is bounded:
+        a feasible pair ranked below the limit in BOTH directions would be
+        missed, which at that depth means the market offers dozens of
+        cheaper-but-incompatible listings on each side.
+        """
+        if sync:
+            self.indexer.sync()
+        ingress_candidates = self.indexer.candidates(
+            ListingQuery(isd_as, ingress, True, start, expiry, bandwidth_kbps),
+            limit=_PAIR_SEARCH_LIMIT,
+            sync=False,
+        )
+        egress_candidates = self.indexer.candidates(
+            ListingQuery(isd_as, egress, False, start, expiry, bandwidth_kbps),
+            limit=_PAIR_SEARCH_LIMIT,
+            sync=False,
+        )
+        if not ingress_candidates or not egress_candidates:
+            missing = ingress if not ingress_candidates else egress
+            direction = "ingress" if not ingress_candidates else "egress"
+            raise ListingNotFound(
+                f"no listing at {isd_as} if={missing} {direction} covers "
+                f"[{start},{expiry})x{bandwidth_kbps}kbps"
+            )
+        best: HopQuote | None = None
+        best_key: tuple | None = None
+        for ingress_candidate in ingress_candidates:
+            for egress_candidate in egress_candidates:
+                joint = _joint_window(
+                    ingress_candidate.listing,
+                    egress_candidate.listing,
+                    (start, expiry),
+                )
+                if joint is None:
+                    continue
+                pair = HopQuote(
+                    isd_as=isd_as,
+                    ingress=ingress,
+                    egress=egress,
+                    ingress_candidate=_at_window(
+                        ingress_candidate.listing, bandwidth_kbps, joint
+                    ),
+                    egress_candidate=_at_window(
+                        egress_candidate.listing, bandwidth_kbps, joint
+                    ),
+                )
+                key = (
+                    pair.price_mist,
+                    pair.start,
+                    pair.ingress_candidate.listing.listing_id,
+                    pair.egress_candidate.listing.listing_id,
+                )
+                if best_key is None or key < best_key:
+                    best, best_key = pair, key
+        if best is None:
+            ingress_granularity = ingress_candidates[0].listing.granularity
+            egress_granularity = egress_candidates[0].listing.granularity
+            raise IncompatibleGranularity(
+                f"{isd_as}: ingress if={ingress} (granularity "
+                f"{ingress_granularity}s) and egress if={egress} (granularity "
+                f"{egress_granularity}s) admit no common aligned window covering "
+                f"[{start},{expiry}); list assets on a shared granule or split "
+                "them to compatible boundaries"
+            )
+        return best
+
+    # -- path planning -----------------------------------------------------------
+
+    def quote(self, spec: PathSpec) -> list[PathQuote]:
+        """Every distinct priced way to cover the spec, cheapest first.
+
+        Candidate start offsets step through the flex range at the finest
+        granularity listed on the involved interfaces (coarser steps would
+        skip sellable windows, finer ones only repeat them); quotes that
+        resolve to identical listings and windows are deduplicated.
+        """
+        self.indexer.sync()
+        step = self._flex_step(spec)
+        offsets = list(range(0, spec.flex_start + 1, step))
+        if spec.flex_start and spec.flex_start not in offsets:
+            offsets.append(spec.flex_start)
+        quotes: list[PathQuote] = []
+        seen: set[tuple] = set()
+        first_error: ListingNotFound | None = None
+        for offset in offsets:
+            try:
+                hops = tuple(
+                    self.resolve_hop(
+                        crossing.isd_as,
+                        crossing.ingress,
+                        crossing.egress,
+                        spec.start + offset,
+                        spec.expiry + offset,
+                        spec.bandwidth_kbps,
+                        sync=False,
+                    )
+                    for crossing in spec.crossings
+                )
+            except ListingNotFound as error:
+                if first_error is None:
+                    first_error = error
+                continue
+            signature = tuple(
+                (
+                    hop.ingress_candidate.listing.listing_id,
+                    hop.egress_candidate.listing.listing_id,
+                    hop.start,
+                    hop.expiry,
+                )
+                for hop in hops
+            )
+            if signature in seen:
+                continue
+            seen.add(signature)
+            quotes.append(
+                PathQuote(
+                    start=spec.start + offset,
+                    expiry=spec.expiry + offset,
+                    offset=offset,
+                    bandwidth_kbps=spec.bandwidth_kbps,
+                    hops=hops,
+                )
+            )
+        if not quotes:
+            if first_error is not None:
+                raise first_error
+            raise ListingNotFound(f"no quote covers {spec}")
+        quotes.sort(key=lambda quote: (quote.price_mist, quote.offset))
+        return quotes
+
+    def best(self, spec: PathSpec) -> PathQuote:
+        """The cheapest quote; enforces the spec's budget cap."""
+        cheapest = self.quote(spec)[0]
+        if spec.budget_mist is not None and cheapest.price_mist > spec.budget_mist:
+            raise BudgetExceeded(
+                f"cheapest quote costs {cheapest.price_mist} MIST, over the "
+                f"{spec.budget_mist} MIST budget (offset {cheapest.offset}s)"
+            )
+        return cheapest
+
+    def _flex_step(self, spec: PathSpec) -> int:
+        granularities = self._granularities(spec)
+        if granularities:
+            return min(granularities)
+        return max(spec.flex_start, 1)
+
+    def _granularities(self, spec: PathSpec) -> set[int]:
+        granularities: set[int] = set()
+        for crossing in spec.crossings:
+            granularities |= self.indexer.granularities(
+                crossing.isd_as, crossing.ingress, True
+            )
+            granularities |= self.indexer.granularities(
+                crossing.isd_as, crossing.egress, False
+            )
+        return granularities
+
+
+def _at_window(listing, bandwidth_kbps: int, window: tuple[int, int]) -> Candidate:
+    """A candidate buying ``listing`` over an explicitly chosen window."""
+    return Candidate(
+        listing=listing,
+        price_mist=listing.price_for(bandwidth_kbps, *window),
+        start=window[0],
+        expiry=window[1],
+    )
+
+
+def _joint_window(
+    first, second, window: tuple[int, int]
+) -> tuple[int, int] | None:
+    """Smallest window covering ``window`` aligned to BOTH listings.
+
+    Each listing accepts windows on the lattice ``anchor + k*granularity``;
+    the intersection of two lattices is either empty (anchors incongruent
+    modulo ``gcd``) or another lattice with step ``lcm`` whose offset CRT
+    recovers.  Returns None when the lattices don't intersect or the
+    aligned window escapes either asset's validity range.
+    """
+    start, expiry = window
+    g1, g2 = first.granularity, second.granularity
+    a1, a2 = first.start, second.start
+    g = math.gcd(g1, g2)
+    if (a2 - a1) % g:
+        return None
+    step = g1 // g * g2  # lcm
+    m = g2 // g
+    if m == 1:
+        x0 = a1
+    else:
+        t = (((a2 - a1) // g) * pow((g1 // g) % m, -1, m)) % m
+        x0 = a1 + g1 * t
+    joint_start = x0 + (start - x0) // step * step
+    over = (expiry - x0) % step
+    joint_expiry = expiry if over == 0 else expiry + step - over
+    if joint_start < max(a1, a2) or joint_expiry > min(first.expiry, second.expiry):
+        return None
+    return joint_start, joint_expiry

@@ -290,6 +290,218 @@ class ContentionResult:
         return [b for b in self.buyers if not b.admitted]
 
 
+@dataclass
+class FlexBuyerOutcome:
+    """One probe buyer's fate in :func:`flex_market_experiment`."""
+
+    buyer: str
+    flex_start: int  # seconds of start-time slack the buyer declared
+    offset: int  # seconds the planner actually slid the window
+    start: int  # service start of the purchased window
+    expiry: int
+    estimated_price_mist: int
+    paid_price_mist: int
+    metrics: dict
+
+
+@dataclass
+class FlexMarketResult:
+    """Outcome of :func:`flex_market_experiment`."""
+
+    buyers: list[FlexBuyerOutcome]
+    peak_window: tuple[int, int]
+    base_price_micromist: int
+    peak_price_micromist: int  # scarcity-adjusted restock price in the peak
+    curve_times: list[int]
+    curve_prices: list[float]  # cheapest probe-sized quote per start time
+
+
+def flex_market_experiment(
+    num_ases: int = 3,
+    probe_rate_bps: float = 2_000_000.0,
+    flood_rate_bps: float = 20_000_000.0,
+    link_rate_bps: float = 10_000_000.0,
+    window_seconds: int = 600,
+    flex_values: tuple[int, ...] = (0, 1800),
+    market_bandwidth_kbps: int = 100_000,
+    base_price_micromist: int = 50,
+    duration: float = 1.5,
+    payload_bytes: int = 1000,
+    seed: int = 1,
+    prf_factory: PrfFactory = SIM_PRF,
+) -> FlexMarketResult:
+    """Price-reactive purchasing end to end: buy the valley, not the peak.
+
+    Builds a *scarcity-priced* market over the path, exhausts the cheap
+    capacity in one peak window (a crowd buys it out and redeems, so the
+    active calendars spike), has every AS restock the peak at its
+    scarcity-adjusted quote, then sends probe buyers with different
+    ``flex_start`` budgets through the full v2 purchase workflow
+    (:class:`~repro.marketdata.PathSpec` -> planner -> atomic
+    buy-and-redeem).  A zero-flex probe must pay the peak restock price; a
+    probe with enough slack slides into the post-peak valley and pays the
+    base price.  Each probe's reservations are then *used*: a short
+    packet-level simulation runs its flow against a best-effort flood and
+    records goodput/latency, proving the valley reservations are as real
+    on the data plane as the peak ones.
+    """
+    from repro.admission import ScarcityPricer
+    from repro.controlplane import deploy_market, purchase_path
+    from repro.scion.beaconing import run_beaconing
+    from repro.scion.paths import PathLookup
+    from repro.scion.topology import linear_topology
+
+    topology = linear_topology(num_ases)
+    store = run_beaconing(
+        topology, timestamp=1_700_000_000, prf_factory=prf_factory
+    )
+    path = PathLookup(store).find_paths(
+        topology.ases[-1].isd_as, topology.ases[0].isd_as
+    )[0]
+    crossings = as_crossings(path)
+
+    deploy_time = 1_700_000_000
+    clock = SimClock(float(deploy_time))
+    deployment = deploy_market(
+        topology,
+        clock=clock,
+        seed=seed,
+        asset_start=deploy_time,  # pin the granule anchor for clean windows
+        asset_duration=7200,
+        asset_bandwidth_kbps=market_bandwidth_kbps,
+        price_micromist_per_unit=base_price_micromist,
+        interface_capacity_kbps=2 * market_bandwidth_kbps,
+        pricer=ScarcityPricer(),
+        prf_factory=prf_factory,
+    )
+    peak = (deploy_time + 600, deploy_time + 600 + window_seconds)
+
+    # A crowd buys the peak window out at the base price and redeems, so
+    # the cheap capacity is gone and the active calendars record the load.
+    crowd = deployment.new_host(name="crowd")
+    purchase_path(
+        deployment,
+        crowd,
+        crossings,
+        start=peak[0],
+        expiry=peak[1],
+        bandwidth_kbps=market_bandwidth_kbps,
+    )
+
+    # Every AS restocks the sold-out peak; the quote now carries the
+    # scarcity multiplier, so peak capacity exists again — at a premium.
+    peak_price = base_price_micromist
+    for crossing in crossings:
+        service = deployment.service(crossing.isd_as)
+        for interface, is_ingress in ((crossing.ingress, True), (crossing.egress, False)):
+            peak_price = max(
+                peak_price,
+                service.admission.quote(
+                    base_price_micromist, interface, is_ingress, *peak
+                ),
+            )
+            restocked = service.issue_and_list(
+                deployment.marketplace,
+                interface,
+                is_ingress,
+                market_bandwidth_kbps,
+                *peak,
+                base_price_micromist,
+            )
+            if not restocked.effects.ok:
+                raise RuntimeError(f"restock failed: {restocked.effects.error}")
+
+    reserve_kbps = int(probe_rate_bps * 1.25 / 1000)  # cover wire overhead
+    outcomes: list[FlexBuyerOutcome] = []
+    for index, flex in enumerate(flex_values):
+        buyer = f"probe-flex-{flex}"
+        host = deployment.new_host(name=buyer)
+        outcome = purchase_path(
+            deployment,
+            host,
+            crossings,
+            start=peak[0],
+            expiry=peak[0] + window_seconds,
+            bandwidth_kbps=reserve_kbps,
+            flex_start=flex,
+        )
+        # Use the reservations on the data plane: the probe's protected
+        # flow vs a best-effort flood over the bottleneck, simulated at
+        # the window the planner actually bought.
+        simulation = build_path_simulation(
+            topology,
+            path,
+            start_time=float(outcome.quote.start) + 0.1,
+            link_rate_bps=link_rate_bps,
+            prf_factory=prf_factory,
+        )
+        rng = random.Random(seed + index)
+        victim_metrics = simulation.sink.flow(1)
+        victim = CbrSource(
+            simulation.loop,
+            simulation.hummingbird_source(outcome.reservations),
+            simulation.entry,
+            victim_metrics,
+            rate_bps=probe_rate_bps,
+            payload_bytes=payload_bytes,
+            flow_id=1,
+            jitter=0.05,
+            rng=rng,
+        )
+        flood_metrics = simulation.sink.flow(2)
+        flood = FloodSource(
+            simulation.loop,
+            simulation.best_effort_source(),
+            simulation.entry,
+            flood_metrics,
+            rate_bps=flood_rate_bps,
+            payload_bytes=payload_bytes,
+            flow_id=2,
+            jitter=0.02,
+            rng=rng,
+        )
+        victim.start(0.0)
+        flood.start(0.05)
+        simulation.loop.run_until(simulation.clock.now() + duration)
+        victim.stop()
+        flood.stop()
+        outcomes.append(
+            FlexBuyerOutcome(
+                buyer=buyer,
+                flex_start=flex,
+                offset=outcome.quote.offset,
+                start=outcome.quote.start,
+                expiry=outcome.quote.expiry,
+                estimated_price_mist=outcome.estimated_price_mist,
+                paid_price_mist=outcome.price_mist,
+                metrics=victim_metrics.summary(),
+            )
+        )
+
+    # Price-over-time curve at the bottleneck ingress: the peak plateau
+    # and the valley the flexible probes slid into.
+    bottleneck = crossings[1] if len(crossings) > 1 else crossings[0]
+    curve_times = list(
+        range(deploy_time, deploy_time + 3600 + window_seconds, window_seconds // 2)
+    )
+    curve_prices = deployment.indexer.price_curve(
+        bottleneck.isd_as,
+        bottleneck.ingress,
+        True,
+        reserve_kbps,
+        window_seconds,
+        curve_times,
+    )
+    return FlexMarketResult(
+        buyers=outcomes,
+        peak_window=peak,
+        base_price_micromist=base_price_micromist,
+        peak_price_micromist=peak_price,
+        curve_times=curve_times,
+        curve_prices=[float(price) for price in curve_prices],
+    )
+
+
 def contention_experiment(
     topology: Topology,
     path: ForwardingPath,

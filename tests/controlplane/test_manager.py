@@ -88,3 +88,21 @@ class TestManager:
     def test_bad_parameters_rejected(self, world):
         with pytest.raises(ValueError):
             make_manager(world, window_seconds=60, renew_margin=120.0)
+        with pytest.raises(ValueError):
+            make_manager(world, flex_start=-1)
+
+    def test_budget_cap_refuses_overpriced_window(self, world):
+        from repro.controlplane import BudgetExceeded
+
+        _, _, clock = world
+        manager = make_manager(world, budget_mist_per_window=1)
+        with pytest.raises(BudgetExceeded):
+            manager.start(int(clock.now()) + 120)
+        assert manager.leases == []  # nothing bought, nothing charged
+
+    def test_estimate_tracks_paid_totals(self, world):
+        _, _, clock = world
+        manager = make_manager(world, budget_mist_per_window=10_000_000)
+        first = manager.start(int(clock.now()) + 120)
+        manager.tick(first.expiry - 30)
+        assert manager.total_estimated_mist == manager.total_price_mist > 0

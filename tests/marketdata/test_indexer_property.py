@@ -1,0 +1,187 @@
+"""Property: the incremental index IS the full-ledger scan.
+
+Hypothesis drives arbitrary interleavings of list / buy (all split
+shapes) / cancel / seller-side asset splits / relists — with the indexer
+syncing incrementally after every step — and checks that the index always
+answers exactly what a naive rescan of the object store would: the same
+live listing set, and for probe rectangles the same cheapest listing,
+price, and aligned window.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from tests.marketdata.conftest import RawMarket
+
+from repro.contracts.market import LISTING_TYPE
+from repro.marketdata import ListingQuery, MarketIndexer, naive_best_listing
+from repro.marketdata.naive import iter_listings
+from repro.scion.addresses import IsdAs
+
+AS19 = IsdAs(1, 9)
+INTERFACES = ((1, True), (1, False), (2, True))
+GRANULARITIES = (30, 60, 120)
+HORIZON = 7200
+MIN_BW = 100
+
+
+class IndexerMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.market = RawMarket(seed=7)
+        self.indexer = MarketIndexer(self.market.ledger, self.market.marketplace)
+        self.rng = random.Random(1234)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _listings(self):
+        return sorted(
+            (
+                obj
+                for obj in self.market.ledger.objects.values()
+                if obj.type_tag == LISTING_TYPE
+            ),
+            key=lambda obj: obj.object_id,
+        )
+
+    def _pick_listing(self, index: int):
+        listings = self._listings()
+        if not listings:
+            return None
+        return listings[index % len(listings)]
+
+    # -- rules -----------------------------------------------------------------
+
+    @rule(
+        slot=st.integers(0, 40),
+        slots=st.integers(1, 30),
+        granularity=st.sampled_from(GRANULARITIES),
+        interface=st.sampled_from(INTERFACES),
+        bw=st.sampled_from([1_000, 10_000, 50_000]),
+        price=st.integers(10, 200),
+    )
+    def list_asset(self, slot, slots, granularity, interface, bw, price):
+        start = slot * granularity
+        expiry = min(start + slots * granularity, HORIZON)
+        if expiry <= start:
+            return
+        self.market.issue_and_list(
+            interface[0], interface[1], bw, start, expiry,
+            price=price, granularity=granularity,
+        )
+
+    @rule(
+        pick=st.integers(0, 1_000_000),
+        start_frac=st.floats(0.0, 1.0),
+        slots=st.integers(1, 20),
+        bw_frac=st.floats(0.1, 1.0),
+    )
+    def buy_rectangle(self, pick, start_frac, slots, bw_frac):
+        listing = self._pick_listing(pick)
+        if listing is None:
+            return
+        asset = self.market.ledger.objects.get(listing.payload["asset"])
+        if asset is None:
+            return
+        payload = asset.payload
+        granularity = payload["granularity"]
+        total_slots = (payload["expiry"] - payload["start"]) // granularity
+        offset = int(start_frac * (total_slots - 1)) if total_slots > 1 else 0
+        start = payload["start"] + offset * granularity
+        expiry = min(start + slots * granularity, payload["expiry"])
+        bw = max(MIN_BW, int(payload["bandwidth_kbps"] * bw_frac) // 100 * 100)
+        remainder = payload["bandwidth_kbps"] - bw
+        if bw > payload["bandwidth_kbps"] or 0 < remainder < MIN_BW:
+            return
+        # The transaction may still abort (e.g. emptied window); aborts
+        # emit no events, so both sides of the comparison are unaffected.
+        self.market.buy(listing.object_id, start, expiry, bw)
+
+    @rule(pick=st.integers(0, 1_000_000))
+    def cancel_listing(self, pick):
+        listing = self._pick_listing(pick)
+        if listing is None:
+            return
+        self.market.cancel(listing.object_id)
+
+    @rule(pick=st.integers(0, 1_000_000), price=st.integers(10, 300))
+    def cancel_split_and_relist(self, pick, price):
+        """Seller takes a listing back, splits the asset, relists the parts."""
+        listing = self._pick_listing(pick)
+        if listing is None:
+            return
+        cancelled = self.market.cancel(listing.object_id)
+        if not cancelled.ok:
+            return
+        asset_id = cancelled.returns[0]["asset"]
+        asset = self.market.ledger.objects[asset_id]
+        payload = asset.payload
+        granularity = payload["granularity"]
+        slots = (payload["expiry"] - payload["start"]) // granularity
+        pieces = [asset_id]
+        if slots >= 2:
+            split = self.market.try_run(
+                self.market.seller, "asset", "split_time",
+                asset=asset_id,
+                split_at=payload["start"] + (slots // 2) * granularity,
+            )
+            if split.ok:
+                pieces.append(split.returns[0]["second"])
+        for piece in pieces:
+            self.market.run(
+                self.market.seller, "market", "create_listing",
+                marketplace=self.market.marketplace, asset=piece,
+                price_micromist_per_unit=price,
+            )
+
+    @rule()
+    def sync_now(self):
+        """Extra mid-sequence syncs: incremental application at odd points."""
+        self.indexer.sync()
+
+    # -- the property ------------------------------------------------------------
+
+    @invariant()
+    def index_matches_full_rescan(self):
+        if not hasattr(self, "market"):
+            return
+        self.indexer.sync()
+        indexed = {
+            record.listing_id: record for record in self.indexer.listings()
+        }
+        scanned = {
+            record.listing_id: record
+            for record in iter_listings(self.market.ledger, self.market.marketplace)
+        }
+        assert indexed == scanned
+        for interface, is_ingress in INTERFACES:
+            for _ in range(3):
+                start = self.rng.randrange(0, HORIZON, 30)
+                expiry = start + self.rng.randrange(30, 3600, 30)
+                probe = ListingQuery(
+                    isd_as=AS19, interface=interface, is_ingress=is_ingress,
+                    start=start, expiry=expiry,
+                    bandwidth_kbps=self.rng.choice([MIN_BW, 1_000, 10_000, 50_000]),
+                    exact_window=self.rng.random() < 0.2,
+                )
+                fast = self.indexer.best(probe)
+                slow = naive_best_listing(
+                    self.market.ledger, self.market.marketplace, probe
+                )
+                if slow is None:
+                    assert fast is None, probe
+                else:
+                    assert fast is not None, probe
+                    assert fast.listing.listing_id == slow.listing.listing_id, probe
+                    assert (fast.price_mist, fast.start, fast.expiry) == (
+                        slow.price_mist, slow.start, slow.expiry,
+                    ), probe
+
+
+IndexerMachine.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=14, deadline=None
+)
+TestIndexerMatchesNaive = IndexerMachine.TestCase

@@ -9,6 +9,7 @@ from repro.netsim.metrics import FlowMetrics
 from repro.netsim.scenarios import (
     congestion_experiment,
     contention_experiment,
+    flex_market_experiment,
     linear_path,
 )
 
@@ -197,3 +198,24 @@ class TestContentionExperiment:
             duration=0.5,
         )
         assert len(result.admitted) == 3 and not result.rejected
+
+
+class TestFlexMarketExperiment:
+    def test_flexible_buyer_pays_the_valley_price(self):
+        """V2 purchase workflow end to end: a zero-flex probe pays the
+        scarcity-priced peak restock, a flexible one slides into the
+        post-peak valley, pays the base price, and its reservations
+        protect its flow on the data plane all the same."""
+        result = flex_market_experiment(flex_values=(0, 1800), duration=0.5)
+        assert result.peak_price_micromist > result.base_price_micromist
+        rigid, flexible = result.buyers
+        assert rigid.offset == 0
+        assert flexible.offset > 0  # out of the peak window
+        assert flexible.paid_price_mist < rigid.paid_price_mist
+        assert flexible.estimated_price_mist == flexible.paid_price_mist
+        for buyer in result.buyers:  # both shielded from the flood
+            assert buyer.metrics["goodput_mbps"] > 1.8
+            assert buyer.metrics["loss_rate"] < 0.05
+        # The price curve exposes the peak premium over the valley floor.
+        finite = [price for price in result.curve_prices if price != float("inf")]
+        assert max(finite) > min(finite)
