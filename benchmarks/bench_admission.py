@@ -8,20 +8,29 @@ loads calendars with 10k..1M concurrent reservations (bulk-built via
 * the **vectorized bulk path** (``bulk_admissible``): one numpy pass over a
   whole batch of windows — the acceptance bar is >= 100k decisions/sec;
 * the **scalar path** (``peak_commitment`` per window) for comparison;
-* sequential **FCFS admit** throughput (screen + commit).
+* sequential **FCFS admit** throughput (screen + commit);
+* **sharded vs monolithic** calendars: a 10^7-reservation ``commit_batch``
+  bulk load plus a mixed admit/release/expire churn phase against 10^6
+  tracked reservations — the per-link mutation path time-sharding exists
+  for (acceptance bar: >= 2x churn speedup).
 
 Run:  PYTHONPATH=src python -m pytest benchmarks/bench_admission.py -q
+  or: PYTHONPATH=src python benchmarks/bench_admission.py --smoke
 """
 
 from __future__ import annotations
 
+import argparse
 import time
 
 import numpy as np
 
-from benchmarks.conftest import report
+try:
+    from benchmarks.conftest import report
+except ImportError:  # executed as a script from the benchmarks/ directory
+    from conftest import report
 
-from repro.admission import CapacityCalendar, FirstComeFirstServed
+from repro.admission import CapacityCalendar, FirstComeFirstServed, ShardedCalendar
 from repro.admission.policy import AdmissionRequest
 from repro.analysis import render_comparison
 
@@ -124,3 +133,157 @@ def test_bench_fcfs_sequential_admit(benchmark):
 
     decisions = benchmark(run)
     assert len(decisions) == len(requests)
+
+
+# -- sharded vs monolithic ----------------------------------------------------
+
+SHARD_SECONDS = 86_400.0
+SHARD_HORIZON = 100 * SHARD_SECONDS  # one hundred day-shards
+MIN_CHURN_SPEEDUP = 2.0
+
+
+def _reservations(count: int, seed: int, horizon: float = SHARD_HORIZON):
+    rng = np.random.default_rng(seed)
+    starts = rng.uniform(0, horizon, count)
+    return (
+        rng.integers(100, 4000, count),
+        starts,
+        starts + rng.uniform(60, 7200, count),
+    )
+
+
+def _timed(callable_) -> float:
+    began = time.perf_counter()
+    callable_()
+    return time.perf_counter() - began
+
+
+def _churn(calendar, handles: list, steps: int, admits: int, releases: int) -> None:
+    """Deterministic mixed workload: expire + admit + targeted release.
+
+    Each step advances ``now`` by a fifth of a shard (so expiry sweeps both
+    inside shards and across whole-shard drops), admits fresh near-future
+    reservations, and releases random live commitments — the per-link
+    mutation mix a busy interface actually sees.
+    """
+    rng = np.random.default_rng(41)
+    now = 0.0
+    for _ in range(steps):
+        now += SHARD_SECONDS / 5
+        calendar.expire(now)
+        handles[:] = [handle for handle in handles if handle.end > now]
+        starts = now + rng.uniform(0, 7200, admits)
+        durations = rng.uniform(60, 7200, admits)
+        bandwidths = rng.integers(100, 4000, admits)
+        for bandwidth, start, duration in zip(bandwidths, starts, durations):
+            handles.append(
+                calendar.admit(int(bandwidth), float(start), float(start + duration))
+            )
+        for _ in range(min(releases, len(handles))):
+            position = int(rng.integers(0, len(handles)))
+            handles[position], handles[-1] = handles[-1], handles[position]
+            calendar.release(handles.pop().commitment_id)
+
+
+def sharded_comparison(
+    load_count: int,
+    tracked_count: int,
+    churn_steps: int = 3,
+    churn_admits: int = 800,
+    churn_releases: int = 400,
+):
+    """Bulk-load + churn timings for monolithic vs sharded calendars.
+
+    Returns (table rows, metrics dict).  The bulk load is untracked (the
+    scenario-generator mode); the churn phase runs against ``tracked_count``
+    individually releasable commitments.
+    """
+    factories = {
+        "monolithic": lambda: CapacityCalendar(CAPACITY_KBPS),
+        "sharded": lambda: ShardedCalendar(CAPACITY_KBPS, shard_seconds=SHARD_SECONDS),
+    }
+    metrics: dict[str, dict[str, float]] = {name: {} for name in factories}
+    probes = _reservations(1000, seed=3)
+    loaded = {}
+    for name, factory in factories.items():
+        calendar = factory()
+        load = _reservations(load_count, seed=23)
+        metrics[name]["load"] = _timed(
+            lambda: calendar.commit_batch(*load, track=False)
+        )
+        loaded[name] = calendar
+    # The sharded bulk load must answer exactly like the monolithic one.
+    expected = loaded["monolithic"].bulk_peak(probes[1], probes[2])
+    if not np.array_equal(expected, loaded["sharded"].bulk_peak(probes[1], probes[2])):
+        raise AssertionError("sharded bulk load diverged from monolithic")
+    for name, factory in factories.items():
+        calendar = factory()
+        tracked = _reservations(tracked_count, seed=29)
+        handles: list = []
+        metrics[name]["tracked_load"] = _timed(
+            lambda: handles.extend(calendar.commit_batch(*tracked, track=True))
+        )
+        metrics[name]["churn"] = _timed(
+            lambda: _churn(calendar, handles, churn_steps, churn_admits, churn_releases)
+        )
+    rows = []
+    for phase, label in (
+        ("load", f"{load_count:,} commit_batch (untracked)"),
+        ("tracked_load", f"{tracked_count:,} commit_batch (tracked)"),
+        ("churn", f"churn: {churn_steps}x(expire+{churn_admits} admit+{churn_releases} release)"),
+    ):
+        mono, shard = metrics["monolithic"][phase], metrics["sharded"][phase]
+        rows.append([label, f"{mono:.2f}s", f"{shard:.2f}s", f"{mono / shard:.1f}x"])
+    return rows, metrics
+
+
+def _sharded_report(rows, title_suffix: str) -> str:
+    return render_comparison(
+        ["phase", "monolithic", "sharded", "speedup"],
+        rows,
+        title="Sharded vs monolithic capacity calendars " + title_suffix,
+        note=f"shard width {SHARD_SECONDS:.0f}s over a {SHARD_HORIZON / SHARD_SECONDS:.0f}-shard "
+        "horizon; churn advances now by a fifth of a shard per step, mixing "
+        "whole-shard expiry drops with point admits/releases.",
+    )
+
+
+def test_bench_sharded_vs_monolithic_report():
+    rows, metrics = sharded_comparison(load_count=10_000_000, tracked_count=1_000_000)
+    report(
+        "bench_admission_sharded",
+        _sharded_report(rows, "(10^7 bulk load, 10^6 tracked churn)"),
+    )
+    speedup = metrics["monolithic"]["churn"] / metrics["sharded"]["churn"]
+    assert speedup >= MIN_CHURN_SPEEDUP, metrics
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="scaled-down sharded-vs-monolithic comparison (CI-sized, no "
+        "speedup floor): 2x10^5 bulk load, 5x10^4 tracked churn",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        rows, _ = sharded_comparison(
+            load_count=200_000,
+            tracked_count=50_000,
+            churn_admits=200,
+            churn_releases=100,
+        )
+        print(_sharded_report(rows, "(smoke)"))
+    else:
+        rows, metrics = sharded_comparison(
+            load_count=10_000_000, tracked_count=1_000_000
+        )
+        print(_sharded_report(rows, "(10^7 bulk load, 10^6 tracked churn)"))
+        speedup = metrics["monolithic"]["churn"] / metrics["sharded"]["churn"]
+        if speedup < MIN_CHURN_SPEEDUP:
+            raise SystemExit(f"churn speedup {speedup:.1f}x below {MIN_CHURN_SPEEDUP}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,7 @@ from repro.admission.policy import (
     ProportionalShare,
 )
 from repro.admission.pricing import FlatPricer, Pricer, ScarcityPricer
+from repro.admission.sharded import ShardedCalendar
 
 __all__ = [
     "ACTIVE",
@@ -33,4 +34,5 @@ __all__ = [
     "Pricer",
     "ProportionalShare",
     "ScarcityPricer",
+    "ShardedCalendar",
 ]

@@ -25,6 +25,7 @@ from repro.admission.policy import (
     FirstComeFirstServed,
 )
 from repro.admission.pricing import FlatPricer, Pricer
+from repro.admission.sharded import ShardedCalendar
 
 ISSUED = "issued"
 ACTIVE = "active"
@@ -39,16 +40,29 @@ class AdmissionController:
         policy: AdmissionPolicy | None = None,
         pricer: Pricer | None = None,
         capacities: dict[tuple[int, bool], int] | None = None,
+        shard_seconds: float | None = None,
     ) -> None:
         """``capacity_kbps`` is the default per-interface-direction capacity;
-        ``capacities`` overrides it per ``(interface, is_ingress)`` pair."""
+        ``capacities`` overrides it per ``(interface, is_ingress)`` pair.
+
+        ``shard_seconds`` selects time-sharded calendars
+        (:class:`~repro.admission.sharded.ShardedCalendar` with that shard
+        width) for every layer; ``None`` keeps the monolithic
+        :class:`CapacityCalendar` — the default, and the right choice below
+        ~10^5 commitments per interface direction.
+        """
         if capacity_kbps <= 0:
             raise ValueError("capacity must be positive")
+        if shard_seconds is not None and not shard_seconds > 0:
+            raise ValueError("shard width must be positive")
         self.default_capacity_kbps = int(capacity_kbps)
         self.policy = policy if policy is not None else FirstComeFirstServed()
         self.pricer = pricer if pricer is not None else FlatPricer()
+        self.shard_seconds = None if shard_seconds is None else float(shard_seconds)
         self._capacities = dict(capacities) if capacities else {}
-        self._calendars: dict[tuple[str, int, bool], CapacityCalendar] = {}
+        self._calendars: dict[
+            tuple[str, int, bool], CapacityCalendar | ShardedCalendar
+        ] = {}
         self.rejections = 0
 
     # -- calendars ----------------------------------------------------------------
@@ -56,13 +70,19 @@ class AdmissionController:
     def capacity_kbps(self, interface: int, is_ingress: bool) -> int:
         return self._capacities.get((interface, is_ingress), self.default_capacity_kbps)
 
-    def calendar(self, interface: int, is_ingress: bool, layer: str = ISSUED) -> CapacityCalendar:
+    def calendar(
+        self, interface: int, is_ingress: bool, layer: str = ISSUED
+    ) -> CapacityCalendar | ShardedCalendar:
         if layer not in (ISSUED, ACTIVE):
             raise ValueError(f"unknown calendar layer {layer!r}")
         key = (layer, interface, is_ingress)
         found = self._calendars.get(key)
         if found is None:
-            found = CapacityCalendar(self.capacity_kbps(interface, is_ingress))
+            capacity = self.capacity_kbps(interface, is_ingress)
+            if self.shard_seconds is None:
+                found = CapacityCalendar(capacity)
+            else:
+                found = ShardedCalendar(capacity, shard_seconds=self.shard_seconds)
             self._calendars[key] = found
         return found
 

@@ -14,8 +14,6 @@ the capacity-auction example plots the curve end to end.
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
 
@@ -30,9 +28,16 @@ class Pricer:
         return np.array([self.multiplier(float(u)) for u in np.asarray(utilizations)])
 
     def price(self, base_micromist_per_unit: int, utilization: float) -> int:
-        """Scarcity-adjusted unit price, rounded up, never below 1."""
-        adjusted = base_micromist_per_unit * self.multiplier(utilization)
-        return max(1, math.ceil(adjusted))
+        """Scarcity-adjusted unit price, rounded up, never below 1.
+
+        Computed in exact integer arithmetic: the float multiplier's binary
+        expansion is a ratio of two ints, so ``ceil(base * num / den)`` never
+        round-trips the base through float — a base above 2^53 would silently
+        lose its low bits there (10^17 + 1 used to quote 10^17 at multiplier
+        1.0, undercharging every unit sold).
+        """
+        numerator, denominator = float(self.multiplier(utilization)).as_integer_ratio()
+        return max(1, -(-int(base_micromist_per_unit) * numerator // denominator))
 
 
 class FlatPricer(Pricer):

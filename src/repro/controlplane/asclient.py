@@ -69,6 +69,7 @@ class AsService:
         resid_capacity: int = DEFAULT_RESID_CAPACITY,
         admission: AdmissionController | None = None,
         interface_capacity_kbps: int = DEFAULT_INTERFACE_CAPACITY_KBPS,
+        shard_seconds: float | None = None,
     ) -> None:
         self.autonomous_system = autonomous_system
         self.account = account
@@ -84,7 +85,9 @@ class AsService:
         self.admission = (
             admission
             if admission is not None
-            else AdmissionController(interface_capacity_kbps)
+            else AdmissionController(
+                interface_capacity_kbps, shard_seconds=shard_seconds
+            )
         )
         # (request_id, reason) pairs this AS declined to serve.
         self.undeliverable: list[tuple[str, str]] = []

@@ -121,6 +121,7 @@ def deploy_market(
     interface_capacity_kbps: int | None = None,
     admission_policy=None,
     pricer=None,
+    shard_seconds: float | None = None,
 ) -> MarketDeployment:
     """Stand up ledger, contracts, marketplace, and one service per AS.
 
@@ -132,7 +133,8 @@ def deploy_market(
     capacity (default: exactly the issued asset bandwidth, so the seed
     deployment fills every admission calendar without headroom);
     ``admission_policy`` and ``pricer`` configure each AS's
-    :class:`~repro.admission.AdmissionController`.
+    :class:`~repro.admission.AdmissionController`; ``shard_seconds``
+    switches its calendars to time-sharded ones (None = monolithic).
     """
     from repro.admission import AdmissionController
     rng = random.Random(seed)
@@ -176,7 +178,10 @@ def deploy_market(
             rng=random.Random(seed ^ autonomous_system.isd_as.asn),
             prf_factory=prf_factory,
             admission=AdmissionController(
-                capacity, policy=admission_policy, pricer=pricer
+                capacity,
+                policy=admission_policy,
+                pricer=pricer,
+                shard_seconds=shard_seconds,
             ),
         )
         registered = service.register()

@@ -64,6 +64,15 @@ class _KeyIndex:
     # -- mutation ---------------------------------------------------------------
 
     def add(self, record: IndexedListing) -> None:
+        # A replayed Listed/Relisted for a live listing must replace, not
+        # duplicate: drop the stale order entry before re-inserting, or
+        # candidates() would return the listing twice (and a later remove
+        # would leave a dangling order entry behind).
+        stale = self.records.get(record.listing_id)
+        if stale is not None:
+            index = bisect.bisect_left(self._order, (stale.start, record.listing_id))
+            if index < len(self._order) and self._order[index][1] == record.listing_id:
+                del self._order[index]
         self.records[record.listing_id] = record
         bisect.insort(self._order, (record.start, record.listing_id))
         self._dirty = True
@@ -231,35 +240,39 @@ class MarketIndexer:
             payload = event.payload
             if payload.get("marketplace") != self.marketplace:
                 return False
-            self._drop(payload["listing"])
-            return True
+            # Sold/Delisted of a listing we never tracked (e.g. an indexer
+            # attached mid-stream) mutates nothing and must not count as
+            # applied, or events_applied stops being a progress signal.
+            return self._drop(payload["listing"])
         if event.event_type == "Sold":
             payload = event.payload
             if payload.get("marketplace") != self.marketplace:
                 return False
             listing_id = payload["listing"]
             if payload.get("listing_closed", True):
-                self._drop(listing_id)
-                return True
+                return self._drop(listing_id)
             remaining = payload["remaining"]
             record = self._by_listing.get(listing_id)
-            if record is not None:
-                self._key_index(record.key).update_rectangle(
-                    listing_id,
-                    remaining["bandwidth_kbps"],
-                    remaining["start"],
-                    remaining["expiry"],
-                )
-                self._by_listing[listing_id] = self._key_index(record.key).records[
-                    listing_id
-                ]
+            if record is None:
+                return False
+            self._key_index(record.key).update_rectangle(
+                listing_id,
+                remaining["bandwidth_kbps"],
+                remaining["start"],
+                remaining["expiry"],
+            )
+            self._by_listing[listing_id] = self._key_index(record.key).records[
+                listing_id
+            ]
             return True
         return False
 
-    def _drop(self, listing_id: str) -> None:
+    def _drop(self, listing_id: str) -> bool:
         record = self._by_listing.pop(listing_id, None)
-        if record is not None:
-            self._key_index(record.key).remove(listing_id)
+        if record is None:
+            return False
+        self._key_index(record.key).remove(listing_id)
+        return True
 
     def _key_index(self, key: tuple[int, int, int, bool]) -> _KeyIndex:
         found = self._keys.get(key)

@@ -329,6 +329,7 @@ def flex_market_experiment(
     payload_bytes: int = 1000,
     seed: int = 1,
     prf_factory: PrfFactory = SIM_PRF,
+    shard_seconds: float | None = None,
 ) -> FlexMarketResult:
     """Price-reactive purchasing end to end: buy the valley, not the peak.
 
@@ -373,6 +374,7 @@ def flex_market_experiment(
         interface_capacity_kbps=2 * market_bandwidth_kbps,
         pricer=ScarcityPricer(),
         prf_factory=prf_factory,
+        shard_seconds=shard_seconds,
     )
     peak = (deploy_time + 600, deploy_time + 600 + window_seconds)
 
@@ -516,6 +518,7 @@ def contention_experiment(
     prf_factory: PrfFactory = SIM_PRF,
     pricer=None,
     policy=None,
+    shard_seconds: float | None = None,
 ) -> ContentionResult:
     """Many buyers compete for one bottleneck interface's capacity.
 
@@ -542,6 +545,7 @@ def contention_experiment(
         capacity_kbps,
         policy=policy,
         pricer=pricer if pricer is not None else ScarcityPricer(),
+        shard_seconds=shard_seconds,
     )
 
     start = int(simulation.clock.now())

@@ -127,6 +127,17 @@ class TestPricing:
         assert pricer.price(50, 0.5) == 63  # 50 * 1.25 = 62.5 -> ceil
         assert FlatPricer().price(0, 0.9) == 1
 
+    def test_price_exact_above_float_precision(self):
+        # Regression: base * multiplier through float silently dropped the
+        # low bits of bases above 2^53 — 10^17 + 1 quoted 10^17 at
+        # multiplier 1.0, undercharging every unit sold.
+        base = 10**17 + 1
+        assert FlatPricer().price(base, 0.9) == base
+        assert ScarcityPricer().price(base, 0.0) == base  # multiplier == 1.0
+        # Non-unit multipliers stay exact too: ceil(base * 1.25) in ints.
+        pricer = ScarcityPricer(alpha=0.5)
+        assert pricer.price(base, 0.5) == -(-base * 5 // 4)
+
 
 class TestController:
     def test_layers_are_independent(self):

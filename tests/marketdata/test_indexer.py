@@ -148,6 +148,46 @@ class TestIncrementality:
         ):
             assert fast == slow
 
+    def test_replayed_listed_event_is_idempotent(self, raw_market):
+        # Regression: an at-least-once event feed re-delivering Listed for
+        # a live listing left a duplicate (start, id) order entry, so
+        # candidates() returned the same listing twice — and the dangling
+        # entry crashed the compile after the listing was later removed.
+        listing = raw_market.issue_and_list(1, True, 10_000, 0, 3600)
+        indexer = MarketIndexer(raw_market.ledger, raw_market.marketplace)
+        indexer.sync()
+        listed = next(
+            event
+            for event in raw_market.ledger.events
+            if event.event_type == "Listed"
+            and event.payload["listing"] == listing
+        )
+        assert indexer._apply(listed)  # replay the same event
+        found = indexer.candidates(query(60, 120, 4000), limit=10)
+        assert [candidate.listing.listing_id for candidate in found] == [listing]
+        assert raw_market.cancel(listing).ok
+        indexer.sync()
+        assert indexer.candidates(query(60, 120, 4000), limit=10) == []
+
+    def test_unknown_sold_and_delisted_do_not_count_as_applied(self, raw_market):
+        # Regression: an indexer attached mid-stream counted Sold/Delisted
+        # of never-tracked listings as applied, inflating events_applied.
+        sold_listing = raw_market.issue_and_list(1, True, 10_000, 0, 3600)
+        cancelled_listing = raw_market.issue_and_list(2, True, 10_000, 0, 3600)
+        assert raw_market.buy(sold_listing, 0, 3600, 10_000).ok  # closes it
+        assert raw_market.cancel(cancelled_listing).ok
+        late = MarketIndexer(raw_market.ledger, raw_market.marketplace)
+        # Attach after both listings existed: skip straight to the first
+        # Sold, so only Sold/Delisted of unknown listings remain.
+        late._position = next(
+            position
+            for position, event in enumerate(raw_market.ledger.events)
+            if event.event_type == "Sold"
+        )
+        assert late.sync() == 0
+        assert late.events_applied == 0
+        assert late.count == 0
+
 
 class TestPriceCurve:
     def test_curve_shows_cheap_and_expensive_windows(self, raw_market):
