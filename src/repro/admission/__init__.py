@@ -5,8 +5,21 @@ delivering reservations, so physical interface capacity can never be
 oversold and posted prices respond to scarcity.
 """
 
+from repro.admission.auction import (
+    Bid,
+    ClearingOutcome,
+    LostBid,
+    WindowAuction,
+    uniform_price_clearing,
+)
 from repro.admission.calendar import AdmissionRejected, CapacityCalendar, Commitment
-from repro.admission.controller import ACTIVE, ISSUED, AdmissionController
+from repro.admission.controller import (
+    ACTIVE,
+    AUCTION,
+    ISSUED,
+    POSTED,
+    AdmissionController,
+)
 from repro.admission.policy import (
     AdmissionDecision,
     AdmissionPolicy,
@@ -20,19 +33,26 @@ from repro.admission.sharded import ShardedCalendar
 
 __all__ = [
     "ACTIVE",
+    "AUCTION",
     "ISSUED",
+    "POSTED",
     "AdmissionController",
     "AdmissionDecision",
     "AdmissionPolicy",
     "AdmissionRejected",
     "AdmissionRequest",
+    "Bid",
     "CapacityCalendar",
+    "ClearingOutcome",
     "Commitment",
     "FirstComeFirstServed",
     "FlatPricer",
+    "LostBid",
     "OverbookingPolicy",
     "Pricer",
     "ProportionalShare",
     "ScarcityPricer",
     "ShardedCalendar",
+    "WindowAuction",
+    "uniform_price_clearing",
 ]

@@ -17,12 +17,14 @@ utilization into the scarcity-adjusted listing price.
 
 from __future__ import annotations
 
+from repro.admission.auction import WindowAuction
 from repro.admission.calendar import AdmissionRejected, CapacityCalendar, Commitment
 from repro.admission.policy import (
     AdmissionDecision,
     AdmissionPolicy,
     AdmissionRequest,
     FirstComeFirstServed,
+    ProportionalShare,
 )
 from repro.admission.pricing import FlatPricer, Pricer
 from repro.admission.sharded import ShardedCalendar
@@ -30,9 +32,22 @@ from repro.admission.sharded import ShardedCalendar
 ISSUED = "issued"
 ACTIVE = "active"
 
+AUCTION = "auction"
+POSTED = "posted"
+
 
 class AdmissionController:
-    """Capacity calendars + policy + pricing for all interfaces of one AS."""
+    """Capacity calendars + policy + pricing for all interfaces of one AS.
+
+    >>> controller = AdmissionController(capacity_kbps=1000)
+    >>> decision = controller.admit_issue(1, True, 600, 0, 3600)
+    >>> decision.admitted
+    True
+    >>> controller.admit_issue(1, True, 600, 0, 3600).admitted  # oversell
+    False
+    >>> controller.admit_issue(1, False, 600, 0, 3600).admitted # other side
+    True
+    """
 
     def __init__(
         self,
@@ -41,15 +56,29 @@ class AdmissionController:
         pricer: Pricer | None = None,
         capacities: dict[tuple[int, bool], int] | None = None,
         shard_seconds: float | None = None,
+        auction_interfaces: bool | set[tuple[int, bool]] | None = None,
     ) -> None:
-        """``capacity_kbps`` is the default per-interface-direction capacity;
-        ``capacities`` overrides it per ``(interface, is_ingress)`` pair.
+        """Configure the admission authority for one AS.
 
-        ``shard_seconds`` selects time-sharded calendars
-        (:class:`~repro.admission.sharded.ShardedCalendar` with that shard
-        width) for every layer; ``None`` keeps the monolithic
-        :class:`CapacityCalendar` — the default, and the right choice below
-        ~10^5 commitments per interface direction.
+        Args:
+            capacity_kbps: default per-interface-direction capacity.
+            policy: allocation discipline (default
+                :class:`~repro.admission.policy.FirstComeFirstServed`).
+            pricer: utilization -> price multiplier (default
+                :class:`~repro.admission.pricing.FlatPricer`).
+            capacities: per-``(interface, is_ingress)`` capacity overrides.
+            shard_seconds: selects time-sharded calendars
+                (:class:`~repro.admission.sharded.ShardedCalendar` with that
+                shard width) for every layer; ``None`` keeps the monolithic
+                :class:`CapacityCalendar` — the default, and the right
+                choice below ~10^5 commitments per interface direction.
+            auction_interfaces: which interface directions allocate windows
+                by sealed-bid auction instead of posted prices — ``None``
+                (posted everywhere, the default), ``True`` (auction
+                everywhere), or a set of ``(interface, is_ingress)`` pairs.
+
+        Raises:
+            ValueError: non-positive capacity or shard width.
         """
         if capacity_kbps <= 0:
             raise ValueError("capacity must be positive")
@@ -63,16 +92,40 @@ class AdmissionController:
         self._calendars: dict[
             tuple[str, int, bool], CapacityCalendar | ShardedCalendar
         ] = {}
+        if auction_interfaces is True:
+            self._auction_interfaces: bool | set[tuple[int, bool]] = True
+        elif auction_interfaces:
+            self._auction_interfaces = set(auction_interfaces)
+        else:
+            self._auction_interfaces = set()
+        self._auctions: dict[tuple[int, bool, float, float], WindowAuction] = {}
         self.rejections = 0
 
     # -- calendars ----------------------------------------------------------------
 
     def capacity_kbps(self, interface: int, is_ingress: bool) -> int:
+        """Physical capacity of one interface direction, in kbps."""
         return self._capacities.get((interface, is_ingress), self.default_capacity_kbps)
 
     def calendar(
         self, interface: int, is_ingress: bool, layer: str = ISSUED
     ) -> CapacityCalendar | ShardedCalendar:
+        """The capacity calendar of one interface direction and layer.
+
+        Args:
+            interface: AS interface identifier.
+            is_ingress: direction selector (each direction has its own
+                calendars).
+            layer: :data:`ISSUED` (minted assets) or :data:`ACTIVE`
+                (delivered reservations).
+
+        Returns:
+            The lazily created calendar — monolithic or sharded, per the
+            controller's ``shard_seconds``.
+
+        Raises:
+            ValueError: unknown ``layer``.
+        """
         if layer not in (ISSUED, ACTIVE):
             raise ValueError(f"unknown calendar layer {layer!r}")
         key = (layer, interface, is_ingress)
@@ -97,7 +150,19 @@ class AdmissionController:
         end: float,
         tag: str = "",
     ) -> AdmissionDecision:
-        """May the AS mint (and list) this much more bandwidth here?"""
+        """May the AS mint (and list) this much more bandwidth here?
+
+        Args:
+            interface, is_ingress: the interface direction being sold.
+            bandwidth_kbps: bandwidth of the would-be asset.
+            start, end: the asset's validity window (seconds).
+            tag: free-form owner label recorded on the commitment.
+
+        Returns:
+            An :class:`~repro.admission.policy.AdmissionDecision`; when
+            ``admitted``, its ``commitment`` holds the issued-calendar
+            claim (pass it to :meth:`release` if the mint later fails).
+        """
         return self._admit(ISSUED, interface, is_ingress, bandwidth_kbps, start, end, tag)
 
     def admit_reservation(
@@ -109,7 +174,12 @@ class AdmissionController:
         end: float,
         tag: str = "",
     ) -> AdmissionDecision:
-        """May a delivered reservation claim this much live bandwidth here?"""
+        """May a delivered reservation claim this much live bandwidth here?
+
+        Same contract as :meth:`admit_issue`, against the *active* layer
+        (the physical backstop for delivered reservations and direct
+        grants).
+        """
         return self._admit(ACTIVE, interface, is_ingress, bandwidth_kbps, start, end, tag)
 
     def _admit(
@@ -133,17 +203,156 @@ class AdmissionController:
     def release(
         self, interface: int, is_ingress: bool, commitment: Commitment, layer: str = ISSUED
     ) -> None:
+        """Hand an admitted commitment's bandwidth back to its calendar.
+
+        Raises:
+            KeyError: the commitment is not (or no longer) tracked there.
+        """
         self.calendar(interface, is_ingress, layer).release(commitment.commitment_id)
 
     def expire(self, now: float) -> int:
-        """Garbage-collect ended commitments in every calendar, both layers."""
+        """Garbage-collect ended commitments in every calendar, both layers.
+
+        Returns:
+            The number of commitments released.
+        """
         return sum(calendar.expire(now) for calendar in self._calendars.values())
+
+    # -- auctions -----------------------------------------------------------------
+
+    def allocation_mode(self, interface: int, is_ingress: bool) -> str:
+        """How this interface direction hands out windows.
+
+        Returns:
+            :data:`AUCTION` when the direction is in
+            ``auction_interfaces``, else :data:`POSTED`.
+        """
+        if self._auction_interfaces is True:
+            return AUCTION
+        if (interface, is_ingress) in self._auction_interfaces:
+            return AUCTION
+        return POSTED
+
+    def share_cap_kbps(self, interface: int, is_ingress: bool) -> int | None:
+        """Per-bidder award cap seeding an auction's clearing rule.
+
+        Returns:
+            ``max_fraction * capacity`` when the controller's policy is a
+            :class:`~repro.admission.policy.ProportionalShare`, else
+            ``None`` (no cap).
+        """
+        if isinstance(self.policy, ProportionalShare):
+            return int(self.policy.max_fraction * self.capacity_kbps(interface, is_ingress))
+        return None
+
+    def open_auction(
+        self,
+        interface: int,
+        is_ingress: bool,
+        offered_kbps: int,
+        start: float,
+        end: float,
+        base_price_micromist: int,
+        min_fragment_kbps: int = 0,
+    ) -> WindowAuction:
+        """Open the sealed-bid book for one window of one interface.
+
+        The reserve price is the scarcity-adjusted posted quote for the
+        window (so an auction can never clear below what the posted market
+        would have charged) and the share cap comes from the controller's
+        :class:`~repro.admission.policy.ProportionalShare` policy when one
+        is installed.  Capacity accounting is the caller's: issuing the
+        auctioned asset claims the issued calendar exactly like a posted
+        listing does.
+
+        Args:
+            interface, is_ingress: the interface direction being auctioned.
+            offered_kbps: bandwidth put up for auction.
+            start, end: the calendar window (seconds).
+            base_price_micromist: base unit price the reserve is scaled
+                from.
+            min_fragment_kbps: the asset's minimum bandwidth (clearing
+                refuses to strand a smaller remainder).
+
+        Returns:
+            The registered :class:`~repro.admission.auction.WindowAuction`.
+
+        Raises:
+            ValueError: the direction is in posted mode, or an auction for
+                this exact window is already open.
+        """
+        if self.allocation_mode(interface, is_ingress) != AUCTION:
+            raise ValueError(
+                f"interface {interface} "
+                f"({'ingress' if is_ingress else 'egress'}) allocates by "
+                "posted price; enable it in auction_interfaces first"
+            )
+        key = (interface, is_ingress, float(start), float(end))
+        if key in self._auctions:
+            raise ValueError(f"auction already open for window {key}")
+        auction = WindowAuction(
+            interface=interface,
+            is_ingress=is_ingress,
+            start=float(start),
+            end=float(end),
+            offered_kbps=int(offered_kbps),
+            reserve_micromist=self.quote(
+                base_price_micromist, interface, is_ingress, start, end
+            ),
+            share_cap_kbps=self.share_cap_kbps(interface, is_ingress),
+            min_fragment_kbps=int(min_fragment_kbps),
+        )
+        self._auctions[key] = auction
+        return auction
+
+    def auction_for(
+        self, interface: int, is_ingress: bool, start: float, end: float
+    ) -> WindowAuction | None:
+        """The open auction for this exact window, or ``None``."""
+        return self._auctions.get((interface, is_ingress, float(start), float(end)))
+
+    def close_auction(
+        self, interface: int, is_ingress: bool, start: float, end: float
+    ) -> WindowAuction | None:
+        """Deregister a settled auction's book; returns it (or ``None``)."""
+        return self._auctions.pop(
+            (interface, is_ingress, float(start), float(end)), None
+        )
+
+    def settle_supply(
+        self,
+        interface: int,
+        is_ingress: bool,
+        start: float,
+        end: float,
+        offered_kbps: int,
+    ) -> int:
+        """Bandwidth actually sellable at settle time.
+
+        The auctioned asset cleared the *issued* calendar when it was
+        minted, but the *active* calendar is the physical backstop: direct
+        grants between open and settle can consume live capacity the
+        auction assumed it had.  The supply is therefore clamped to the
+        active layer's remaining headroom over the window — a window that
+        lost headroom before settle clears fewer (possibly zero) winners
+        instead of overselling.
+
+        Returns:
+            ``max(0, min(offered_kbps, active-layer headroom))``.
+        """
+        headroom = self.calendar(interface, is_ingress, ACTIVE).headroom(start, end)
+        return max(0, min(int(offered_kbps), int(headroom)))
 
     # -- pricing ------------------------------------------------------------------
 
     def utilization(
         self, interface: int, is_ingress: bool, start: float, end: float, layer: str = ISSUED
     ) -> float:
+        """Peak committed fraction of capacity over the window, in [0, ...).
+
+        Returns 0.0 for interface directions that never saw a commitment
+        (their calendars are not materialized just to answer a read).
+        """
         key = (layer, interface, is_ingress)
         if key not in self._calendars:
             return 0.0

@@ -19,10 +19,22 @@ on the market under a fresh listing), ``Delisted`` (seller cancel), and
 ``Sold`` (with ``listing_closed`` or the surviving listing's ``remaining``
 rectangle) — so an off-chain :class:`~repro.marketdata.MarketIndexer` can
 track the market incrementally and never needs to rescan the object store.
+
+Beyond posted-price listings, the contract runs **sealed-bid uniform-price
+auctions** per asset window (``create_auction`` / ``place_bid`` /
+``settle_auction``).  Bids escrow their maximum payment at placement;
+settlement re-runs :func:`repro.admission.auction.uniform_price_clearing`
+on-chain — the exact function the AS-side admission layer uses — carves
+the asset for every winner, pays the seller at the single clearing price,
+and refunds every loser (and every winner's escrow surplus) *inside the
+same transaction*, so either the whole settlement lands or no money moves.
+Unawarded bandwidth reverts to a posted listing at the reserve price.
+The protocol is specified in ``docs/auctions.md``.
 """
 
 from __future__ import annotations
 
+from repro.admission.auction import Bid, uniform_price_clearing
 from repro.contracts.asset import (
     ASSET_TYPE,
     asset_units,
@@ -36,6 +48,8 @@ from repro.ledger.objects import Ownership
 MARKETPLACE_TYPE = "market::Marketplace"
 LISTING_TYPE = "market::Listing"
 SELLER_CAP_TYPE = "market::SellerCap"
+AUCTION_TYPE = "market::Auction"
+BID_TYPE = "market::Bid"
 
 MICROMIST = 1_000_000
 
@@ -215,6 +229,311 @@ class MarketContract(Contract):
             },
         )
         return {"asset": bought.object_id, "price_mist": int(price_mist)}
+
+    # -- auctions -----------------------------------------------------------------
+
+    def create_auction(
+        self,
+        ctx: CallContext,
+        marketplace: str,
+        asset: str,
+        reserve_micromist_per_unit: int,
+        share_cap_kbps: int | None = None,
+    ) -> dict:
+        """Open a sealed-bid uniform-price auction for a whole asset window.
+
+        The marketplace takes custody of the asset (exactly like a
+        listing); bids arrive via :meth:`place_bid` and the seller closes
+        the book with :meth:`settle_auction`.  ``reserve_micromist_per_unit``
+        floors the clearing price (the AS seeds it with the
+        scarcity-adjusted posted quote) and ``share_cap_kbps`` optionally
+        caps any single bidder's total award (the proportional-share rule).
+        """
+        market = ctx.take_shared(marketplace, MARKETPLACE_TYPE)
+        ctx.require(ctx.sender in market.payload["sellers"], "seller not registered")
+        ctx.require(reserve_micromist_per_unit > 0, "reserve price must be positive")
+        ctx.require(
+            share_cap_kbps is None or share_cap_kbps > 0,
+            "share cap must be positive when given",
+        )
+        asset_object = ctx.take_owned(asset, ASSET_TYPE)
+        ctx.transfer(asset_object, marketplace)
+        auction = ctx.create_object(
+            AUCTION_TYPE,
+            {
+                "marketplace": marketplace,
+                "asset": asset,
+                "seller": ctx.sender,
+                "reserve_micromist_per_unit": int(reserve_micromist_per_unit),
+                "share_cap_kbps": None if share_cap_kbps is None else int(share_cap_kbps),
+                "bids": [],
+            },
+            owner=marketplace,
+        )
+        payload = asset_object.payload
+        ctx.emit(
+            "AuctionOpened",
+            {
+                "marketplace": marketplace,
+                "auction": auction.object_id,
+                "asset": asset,
+                "seller": ctx.sender,
+                "reserve_micromist_per_unit": int(reserve_micromist_per_unit),
+                "share_cap_kbps": None if share_cap_kbps is None else int(share_cap_kbps),
+                "isd": payload["isd"],
+                "asn": payload["asn"],
+                "interface": payload["interface"],
+                "is_ingress": payload["is_ingress"],
+                "bandwidth_kbps": payload["bandwidth_kbps"],
+                "start": payload["start"],
+                "expiry": payload["expiry"],
+                "granularity": payload["granularity"],
+                "min_bandwidth_kbps": payload["min_bandwidth_kbps"],
+            },
+        )
+        return {"auction": auction.object_id}
+
+    def place_bid(
+        self,
+        ctx: CallContext,
+        marketplace: str,
+        auction: str,
+        bandwidth_kbps: int,
+        price_micromist_per_unit: int,
+        payment: str,
+    ) -> dict:
+        """Place one sealed bid, escrowing the maximum payment.
+
+        The escrow is ``ceil(bandwidth * duration * price / 1e6)`` MIST —
+        what the bid would cost if it cleared at its own price.  Settlement
+        refunds the difference to the clearing price (winners) or the whole
+        escrow (losers) atomically; there is no way to withdraw a bid
+        early, which is what makes the bids *sealed* commitments.  The
+        seller may not bid in their own auction (a riskless shill bid
+        would otherwise inflate the uniform clearing price).
+        """
+        ctx.take_shared(marketplace, MARKETPLACE_TYPE)
+        auction_object = ctx.take_owned(auction, AUCTION_TYPE, owner=marketplace)
+        asset_object = ctx.take_owned(
+            auction_object.payload["asset"], ASSET_TYPE, owner=marketplace
+        )
+        payload = asset_object.payload
+        ctx.require(
+            ctx.sender != auction_object.payload["seller"],
+            "seller cannot bid in their own auction",
+        )
+        ctx.require(price_micromist_per_unit > 0, "bid price must be positive")
+        ctx.require(
+            payload["min_bandwidth_kbps"] <= bandwidth_kbps <= payload["bandwidth_kbps"],
+            "bid bandwidth outside [asset minimum, asset bandwidth]",
+        )
+        duration = payload["expiry"] - payload["start"]
+        escrow_mist = -(
+            -bandwidth_kbps * duration * int(price_micromist_per_unit) // MICROMIST
+        )
+        coin = ctx.take_owned(payment, COIN_TYPE)
+        ctx.require(coin.payload["balance"] >= escrow_mist, "insufficient escrow")
+        coin.payload["balance"] -= escrow_mist
+        ctx.mutate(coin)
+        seq = len(auction_object.payload["bids"])
+        bid = ctx.create_object(
+            BID_TYPE,
+            {
+                "marketplace": marketplace,
+                "auction": auction,
+                "bidder": ctx.sender,
+                "bandwidth_kbps": int(bandwidth_kbps),
+                "price_micromist_per_unit": int(price_micromist_per_unit),
+                "escrow_mist": int(escrow_mist),
+                "seq": seq,
+            },
+            owner=marketplace,
+        )
+        auction_object.payload["bids"].append(bid.object_id)
+        ctx.mutate(auction_object)
+        ctx.emit(
+            "BidPlaced",
+            {
+                "marketplace": marketplace,
+                "auction": auction,
+                "bid": bid.object_id,
+                "bidder": ctx.sender,
+                "bandwidth_kbps": int(bandwidth_kbps),
+                "price_micromist_per_unit": int(price_micromist_per_unit),
+                "escrow_mist": int(escrow_mist),
+                "seq": seq,
+            },
+        )
+        return {"bid": bid.object_id, "escrow_mist": int(escrow_mist)}
+
+    def settle_auction(
+        self,
+        ctx: CallContext,
+        marketplace: str,
+        auction: str,
+        supply_kbps: int | None = None,
+    ) -> dict:
+        """Clear the book, carve the asset, pay the seller, refund the rest.
+
+        Only the seller may settle.  ``supply_kbps`` lets the seller clamp
+        the sellable bandwidth below the auctioned amount (the admission
+        layer reports lost calendar headroom at settle time); it can never
+        exceed the asset's bandwidth.  The clearing rule is
+        :func:`repro.admission.auction.uniform_price_clearing` — byte-for-
+        byte the function hosts use to preview the outcome — so on- and
+        off-chain clearing can never disagree.
+
+        Effects, all inside this one transaction:
+
+        * every winner receives a bandwidth-split piece of the asset and
+          pays ``ceil(units * clearing_price / 1e6)`` MIST; the escrow
+          surplus comes back as a fresh coin;
+        * every loser's full escrow comes back as a fresh coin;
+        * the seller receives one coin with the total proceeds;
+        * unawarded bandwidth reverts to a **posted listing at the reserve
+          price** (so a failed or thin auction degrades to the posted
+          market instead of stranding capacity), unless nothing remains;
+        * the auction and all bid objects are destroyed.
+        """
+        market = ctx.take_shared(marketplace, MARKETPLACE_TYPE)
+        auction_object = ctx.take_owned(auction, AUCTION_TYPE, owner=marketplace)
+        ctx.require(auction_object.payload["seller"] == ctx.sender, "not the seller")
+        asset_object = ctx.take_owned(
+            auction_object.payload["asset"], ASSET_TYPE, owner=marketplace
+        )
+        payload = asset_object.payload
+        total_kbps = payload["bandwidth_kbps"]
+        if supply_kbps is None:
+            supply_kbps = total_kbps
+        ctx.require(
+            0 <= supply_kbps <= total_kbps,
+            "supply must be within [0, asset bandwidth]",
+        )
+        duration = payload["expiry"] - payload["start"]
+        reserve = auction_object.payload["reserve_micromist_per_unit"]
+
+        bid_objects = {}
+        bids = []
+        for bid_id in auction_object.payload["bids"]:
+            bid_object = ctx.take_owned(bid_id, BID_TYPE, owner=marketplace)
+            bid_objects[bid_object.payload["seq"]] = bid_object
+            bids.append(
+                Bid(
+                    bidder=bid_object.payload["bidder"],
+                    bandwidth_kbps=bid_object.payload["bandwidth_kbps"],
+                    price_micromist_per_unit=bid_object.payload[
+                        "price_micromist_per_unit"
+                    ],
+                    seq=bid_object.payload["seq"],
+                )
+            )
+        outcome = uniform_price_clearing(
+            bids,
+            supply_kbps=int(supply_kbps),
+            reserve_micromist=reserve,
+            share_cap_kbps=auction_object.payload["share_cap_kbps"],
+            total_kbps=total_kbps,
+            min_fragment_kbps=payload["min_bandwidth_kbps"],
+        )
+        clearing = outcome.clearing_price_micromist
+
+        target = asset_object
+        proceeds = 0
+        winner_reports = []
+        for bid in outcome.winners:
+            bid_object = bid_objects[bid.seq]
+            if bid.bandwidth_kbps == target.payload["bandwidth_kbps"]:
+                piece, target = target, None
+            else:
+                piece = split_bandwidth_inner(
+                    ctx, target, bid.bandwidth_kbps, new_owner=marketplace
+                )
+            paid_mist = -(-bid.bandwidth_kbps * duration * clearing // MICROMIST)
+            refund_mist = bid_object.payload["escrow_mist"] - paid_mist
+            proceeds += paid_mist
+            if refund_mist > 0:
+                ctx.create_object(
+                    COIN_TYPE, {"balance": int(refund_mist)}, owner=bid.bidder
+                )
+            ctx.transfer(piece, bid.bidder)
+            winner_reports.append(
+                {
+                    "bidder": bid.bidder,
+                    "bid": bid_object.object_id,
+                    "bandwidth_kbps": bid.bandwidth_kbps,
+                    "paid_mist": int(paid_mist),
+                    "refund_mist": int(max(refund_mist, 0)),
+                    "asset": piece.object_id,
+                }
+            )
+            ctx.delete_object(bid_object)
+
+        loser_reports = []
+        for lost in outcome.losers:
+            bid_object = bid_objects[lost.bid.seq]
+            refund_mist = bid_object.payload["escrow_mist"]
+            if refund_mist > 0:
+                ctx.create_object(
+                    COIN_TYPE, {"balance": int(refund_mist)}, owner=lost.bid.bidder
+                )
+            loser_reports.append(
+                {
+                    "bidder": lost.bid.bidder,
+                    "bid": bid_object.object_id,
+                    "refund_mist": int(refund_mist),
+                    "reason": lost.reason,
+                }
+            )
+            ctx.delete_object(bid_object)
+
+        if proceeds > 0:
+            ctx.create_object(COIN_TYPE, {"balance": int(proceeds)}, owner=ctx.sender)
+
+        listing_id = None
+        if target is not None:
+            # Unawarded bandwidth reverts to the posted market at the
+            # reserve price — the "zero bids / thin demand" degradation.
+            listing = ctx.create_object(
+                LISTING_TYPE,
+                {
+                    "marketplace": marketplace,
+                    "asset": target.object_id,
+                    "seller": ctx.sender,
+                    "price_micromist_per_unit": int(reserve),
+                },
+                owner=marketplace,
+            )
+            market.payload["listing_count"] += 1
+            ctx.emit("Listed", _listing_snapshot(listing, target))
+            listing_id = listing.object_id
+
+        ctx.delete_object(auction_object)
+        ctx.mutate(market)
+        ctx.emit(
+            "AuctionSettled",
+            {
+                "marketplace": marketplace,
+                "auction": auction,
+                "asset": asset_object.object_id,
+                "seller": ctx.sender,
+                "clearing_price_micromist": int(clearing),
+                "reserve_micromist_per_unit": int(reserve),
+                "supply_kbps": int(supply_kbps),
+                "awarded_kbps": int(outcome.awarded_kbps),
+                "winners": winner_reports,
+                "losers": loser_reports,
+                "listing": listing_id,
+                "proceeds_mist": int(proceeds),
+            },
+        )
+        return {
+            "clearing_price_micromist": int(clearing),
+            "awarded_kbps": int(outcome.awarded_kbps),
+            "proceeds_mist": int(proceeds),
+            "listing": listing_id,
+            "winners": winner_reports,
+            "losers": loser_reports,
+        }
 
     # -- internals ------------------------------------------------------------------
 

@@ -1,7 +1,14 @@
 """Control plane: CP-PKI, AS services, host clients, end-to-end workflows."""
 
-from repro.controlplane.asclient import AsService, DeliveryRecord
+from repro.controlplane.asclient import (
+    AsService,
+    DeliveryRecord,
+    OpenAuctionRecord,
+    SettlementRecord,
+)
 from repro.controlplane.hostclient import (
+    AcquireOutcome,
+    BidSettlement,
     BudgetExceeded,
     HopRequirement,
     HostClient,
@@ -22,9 +29,13 @@ from repro.controlplane.workflow import (
 )
 
 __all__ = [
+    "AcquireOutcome",
     "AsService",
+    "BidSettlement",
     "BudgetExceeded",
     "DeliveryRecord",
+    "OpenAuctionRecord",
+    "SettlementRecord",
     "HopRequirement",
     "HostClient",
     "IncompatibleGranularity",

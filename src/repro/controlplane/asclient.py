@@ -27,7 +27,8 @@ import json
 import random
 from dataclasses import dataclass
 
-from repro.admission import ACTIVE, AdmissionController, AdmissionRejected
+from repro.admission import ACTIVE, AUCTION, AdmissionController, AdmissionRejected
+from repro.admission.auction import Bid, ClearingOutcome, WindowAuction
 from repro.contracts.asset import REQUEST_TYPE
 from repro.crypto.prf import DEFAULT_PRF_FACTORY, PrfFactory
 from repro.crypto.sealing import seal
@@ -52,6 +53,35 @@ class DeliveryRecord:
     request_id: str
     delivery_id: str
     res_id: int
+    submitted: SubmittedTransaction
+
+
+@dataclass
+class OpenAuctionRecord:
+    """One on-chain auction this AS opened and has not yet settled."""
+
+    auction_id: str
+    marketplace: str
+    interface: int
+    is_ingress: bool
+    bandwidth_kbps: int
+    start: int
+    expiry: int
+    reserve_micromist_per_unit: int
+    commitment: object  # the issued-calendar claim backing the asset
+
+
+@dataclass
+class SettlementRecord:
+    """One settled auction: the on-chain result plus the transaction."""
+
+    auction_id: str
+    clearing_price_micromist: int
+    awarded_kbps: int
+    proceeds_mist: int
+    supply_kbps: int
+    listing: str | None
+    winners: list[dict]
     submitted: SubmittedTransaction
 
 
@@ -91,6 +121,10 @@ class AsService:
         )
         # (request_id, reason) pairs this AS declined to serve.
         self.undeliverable: list[tuple[str, str]] = []
+        # Sealed-bid auctions: open books, settled results, bid-event cursor.
+        self.open_auctions: dict[str, OpenAuctionRecord] = {}
+        self.settlements: list[SettlementRecord] = []
+        self._bid_checkpoint = 0
 
     @property
     def isd_as(self):
@@ -229,6 +263,285 @@ class AsService:
                 ],
             )
         )
+
+    # -- auctions -----------------------------------------------------------------
+
+    def offer_capacity(
+        self,
+        marketplace: str,
+        interface: int,
+        is_ingress: bool,
+        bandwidth_kbps: int,
+        start: int,
+        expiry: int,
+        base_price_micromist: int,
+        granularity: int = DEFAULT_GRANULARITY,
+        min_bandwidth_kbps: int = DEFAULT_MIN_BANDWIDTH,
+    ) -> SubmittedTransaction:
+        """Put capacity on the market the way this interface is configured.
+
+        Dispatches on the admission controller's per-interface allocation
+        mode: auction-mode interfaces open a sealed-bid auction for the
+        window (:meth:`open_auction`), posted-mode interfaces list at the
+        scarcity-adjusted quote (:meth:`issue_and_list`).  Either way the
+        issued capacity calendar is claimed first, so the two modes share
+        one oversell guarantee.
+        """
+        if self.admission.allocation_mode(interface, is_ingress) == AUCTION:
+            return self.open_auction(
+                marketplace,
+                interface,
+                is_ingress,
+                bandwidth_kbps,
+                start,
+                expiry,
+                base_price_micromist,
+                granularity,
+                min_bandwidth_kbps,
+            )
+        return self.issue_and_list(
+            marketplace,
+            interface,
+            is_ingress,
+            bandwidth_kbps,
+            start,
+            expiry,
+            base_price_micromist,
+            granularity,
+            min_bandwidth_kbps,
+        )
+
+    def open_auction(
+        self,
+        marketplace: str,
+        interface: int,
+        is_ingress: bool,
+        bandwidth_kbps: int,
+        start: int,
+        expiry: int,
+        reserve_base_micromist: int,
+        granularity: int = DEFAULT_GRANULARITY,
+        min_bandwidth_kbps: int = DEFAULT_MIN_BANDWIDTH,
+    ) -> SubmittedTransaction:
+        """Issue an asset and open a sealed-bid auction for its window.
+
+        Like :meth:`issue_and_list`, the asset must first clear the
+        *issued* capacity calendar.  The auction's reserve price is the
+        scarcity-adjusted quote over ``reserve_base_micromist`` (computed
+        *before* the asset claims the calendar, like a listing's price),
+        and the per-bidder share cap comes from the controller's
+        proportional-share policy when one is installed.
+
+        Raises:
+            RuntimeError: the AS has not registered.
+            ValueError: the interface direction is not in auction mode.
+            AdmissionRejected: the window would oversell the interface.
+        """
+        if self.token_id is None:
+            raise RuntimeError("AS must register before issuing assets")
+        # Registers the book (and quotes the reserve) before the issued
+        # calendar is touched, so the reserve reflects pre-auction scarcity.
+        book = self.admission.open_auction(
+            interface,
+            is_ingress,
+            bandwidth_kbps,
+            start,
+            expiry,
+            reserve_base_micromist,
+            min_fragment_kbps=min_bandwidth_kbps,
+        )
+        decision = self.admission.admit_issue(
+            interface,
+            is_ingress,
+            bandwidth_kbps,
+            start,
+            expiry,
+            tag=f"auction:{self.isd_as}",
+        )
+        if not decision.admitted:
+            self.admission.close_auction(interface, is_ingress, start, expiry)
+            raise AdmissionRejected(
+                f"{self.isd_as} interface {interface} "
+                f"({'ingress' if is_ingress else 'egress'}): {decision.reason}"
+            )
+        submitted = self.executor.submit(
+            Transaction(
+                sender=self.account.address,
+                commands=[
+                    Command(
+                        "asset",
+                        "issue",
+                        {
+                            "token": self.token_id,
+                            "bandwidth_kbps": bandwidth_kbps,
+                            "start": start,
+                            "expiry": expiry,
+                            "interface": interface,
+                            "is_ingress": is_ingress,
+                            "granularity": granularity,
+                            "min_bandwidth_kbps": min_bandwidth_kbps,
+                        },
+                    ),
+                    Command(
+                        "market",
+                        "create_auction",
+                        {
+                            "marketplace": marketplace,
+                            "asset": Result(0, "asset"),
+                            "reserve_micromist_per_unit": book.reserve_micromist,
+                            "share_cap_kbps": book.share_cap_kbps,
+                        },
+                    ),
+                ],
+            )
+        )
+        if not submitted.effects.ok:
+            # The ledger refused: hand back the capacity and drop the book.
+            self.admission.release(interface, is_ingress, decision.commitment)
+            self.admission.close_auction(interface, is_ingress, start, expiry)
+            return submitted
+        auction_id = submitted.effects.returns[1]["auction"]
+        self.open_auctions[auction_id] = OpenAuctionRecord(
+            auction_id=auction_id,
+            marketplace=marketplace,
+            interface=interface,
+            is_ingress=is_ingress,
+            bandwidth_kbps=bandwidth_kbps,
+            start=start,
+            expiry=expiry,
+            reserve_micromist_per_unit=book.reserve_micromist,
+            commitment=decision.commitment,
+        )
+        return submitted
+
+    def poll_bids(self) -> int:
+        """Mirror new on-chain ``BidPlaced`` events into the local books.
+
+        The ledger's escrowed bid objects are authoritative; the admission
+        layer keeps an identical :class:`WindowAuction` book per open
+        auction so supply checks and settlement previews never touch the
+        object store.  Returns how many bids were mirrored.
+        """
+        ledger = self.executor.ledger
+        events = ledger.events_since(self._bid_checkpoint, "BidPlaced")
+        self._bid_checkpoint = ledger.checkpoint
+        mirrored = 0
+        for event in events:
+            record = self.open_auctions.get(event.payload["auction"])
+            if record is None:
+                continue
+            book = self.admission.auction_for(
+                record.interface, record.is_ingress, record.start, record.expiry
+            )
+            if book is None:
+                continue
+            book.bids.append(
+                Bid(
+                    bidder=event.payload["bidder"],
+                    bandwidth_kbps=event.payload["bandwidth_kbps"],
+                    price_micromist_per_unit=event.payload[
+                        "price_micromist_per_unit"
+                    ],
+                    seq=event.payload["seq"],
+                )
+            )
+            mirrored += 1
+        return mirrored
+
+    def preview_settlement(self, auction_id: str) -> ClearingOutcome:
+        """What settling this auction *right now* would decide.
+
+        Runs the exact clearing function the contract will run, against
+        the mirrored book and the current supply (offered bandwidth
+        clamped by live active-calendar headroom).  Because clearing is
+        deterministic, the preview equals the on-chain outcome unless new
+        bids land in between.
+
+        Raises:
+            KeyError: unknown or already-settled auction.
+        """
+        record = self.open_auctions[auction_id]
+        self.poll_bids()
+        book = self.admission.auction_for(
+            record.interface, record.is_ingress, record.start, record.expiry
+        )
+        supply = self.admission.settle_supply(
+            record.interface,
+            record.is_ingress,
+            record.start,
+            record.expiry,
+            record.bandwidth_kbps,
+        )
+        return book.clear(supply)
+
+    def settle_due_auctions(self, now: float | None = None) -> list[SettlementRecord]:
+        """Settle every open auction whose window has started.
+
+        The periodic housekeeping entry point: call it at (or after) each
+        window boundary.  For each due auction the supply is clamped by
+        :meth:`~repro.admission.AdmissionController.settle_supply` — a
+        window that lost active-calendar headroom since the auction opened
+        sells less than was offered — and the settle transaction clears,
+        pays, and refunds atomically on-chain.
+
+        Returns:
+            A :class:`SettlementRecord` per settled auction.
+
+        Raises:
+            RuntimeError: the ledger refused a settle transaction.
+        """
+        when = now if now is not None else self.executor.clock.now()
+        self.poll_bids()
+        settled: list[SettlementRecord] = []
+        for auction_id, record in list(self.open_auctions.items()):
+            if record.start > when:
+                continue
+            supply = self.admission.settle_supply(
+                record.interface,
+                record.is_ingress,
+                record.start,
+                record.expiry,
+                record.bandwidth_kbps,
+            )
+            submitted = self.executor.submit(
+                Transaction(
+                    sender=self.account.address,
+                    commands=[
+                        Command(
+                            "market",
+                            "settle_auction",
+                            {
+                                "marketplace": record.marketplace,
+                                "auction": auction_id,
+                                "supply_kbps": supply,
+                            },
+                        )
+                    ],
+                )
+            )
+            if not submitted.effects.ok:
+                raise RuntimeError(
+                    f"settle of auction {auction_id[:8]}... failed: "
+                    f"{submitted.effects.error}"
+                )
+            result = submitted.effects.returns[0]
+            self.admission.close_auction(
+                record.interface, record.is_ingress, record.start, record.expiry
+            )
+            del self.open_auctions[auction_id]
+            outcome = SettlementRecord(
+                auction_id=auction_id,
+                clearing_price_micromist=result["clearing_price_micromist"],
+                awarded_kbps=result["awarded_kbps"],
+                proceeds_mist=result["proceeds_mist"],
+                supply_kbps=supply,
+                listing=result["listing"],
+                winners=result["winners"],
+                submitted=submitted,
+            )
+            self.settlements.append(outcome)
+            settled.append(outcome)
+        return settled
 
     # -- redemption handling -------------------------------------------------------
 

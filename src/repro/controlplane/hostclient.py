@@ -26,6 +26,7 @@ import warnings
 from dataclasses import dataclass
 
 from repro.contracts.asset import DELIVERY_TYPE, ASSET_TYPE
+from repro.ledger.accounts import COIN_TYPE
 from repro.crypto.sealing import KeyPair, SealedBox, unseal
 from repro.hummingbird.reservation import FlyoverReservation, ResInfo
 from repro.ledger.accounts import Account
@@ -45,6 +46,8 @@ from repro.scion.addresses import IsdAs
 from repro.scion.paths import AsCrossing
 
 __all__ = [
+    "AcquireOutcome",
+    "BidSettlement",
     "BudgetExceeded",
     "HopRequirement",
     "HostClient",
@@ -140,6 +143,42 @@ def plan_from_quote(quote: PathQuote) -> PurchasePlan:
     return PurchasePlan(requirements=requirements, hops=hops, quote=quote)
 
 
+@dataclass(frozen=True)
+class BidSettlement:
+    """This host's aggregate outcome in one settled auction.
+
+    ``won`` is true when at least one of the host's bids was awarded;
+    ``assets`` are the bandwidth-split pieces it now owns (redeemable like
+    any purchased asset), ``paid_mist`` the total charged at the clearing
+    price and ``refund_mist`` everything the settlement returned (losing
+    escrows plus winners' escrow surplus).
+    """
+
+    auction: str
+    won: bool
+    bandwidth_kbps: int
+    paid_mist: int
+    refund_mist: int
+    clearing_price_micromist: int
+    assets: tuple[str, ...] = ()
+    reasons: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class AcquireOutcome:
+    """What :meth:`HostClient.acquire` did: bid into an auction or buy posted.
+
+    ``mode`` is ``"bid"`` (an open auction covered the window — await its
+    settlement) or ``"bought"`` (posted-price fallback — the asset is owned
+    immediately).  ``reference`` is the auction id or the listing id.
+    """
+
+    mode: str
+    submitted: SubmittedTransaction
+    reference: str
+    price_mist: int = 0
+
+
 class HostClient:
     """A Hummingbird end host's control-plane agent."""
 
@@ -157,11 +196,24 @@ class HostClient:
         self._delivery_checkpoint = 0
         self._indexers: dict[str, MarketIndexer] = {}
         self._planners: dict[str, PurchasePlanner] = {}
+        # Sealed-bid auction tracking, per marketplace: open books seen via
+        # AuctionOpened, settlement payloads seen via AuctionSettled.
+        self._auction_cursor: dict[str, int] = {}
+        self._open_auctions: dict[str, dict[str, dict]] = {}
+        self._auction_results: dict[str, dict[str, dict]] = {}
 
     # -- funding ---------------------------------------------------------------
 
     def fund(self, amount_mist: int) -> str:
-        """Mint a payment coin (stands in for acquiring SUI out of band)."""
+        """Mint a payment coin (stands in for acquiring SUI out of band).
+
+        Returns:
+            The coin object id, also remembered as :attr:`payment_coin`
+            (the coin every purchase and bid draws from).
+
+        Raises:
+            RuntimeError: the mint transaction was refused.
+        """
         submitted = self.executor.submit(
             Transaction(
                 sender=self.account.address,
@@ -172,6 +224,56 @@ class HostClient:
             raise RuntimeError(f"funding failed: {submitted.effects.error}")
         self.payment_coin = submitted.effects.returns[0]["coin"]
         return self.payment_coin
+
+    def _coin_balance(self, coin_id: str) -> int:
+        coin = self.executor.ledger.objects.get(coin_id)
+        return coin.payload["balance"] if coin is not None else 0
+
+    def consolidate_coins(self) -> int:
+        """Merge every coin this host owns back into :attr:`payment_coin`.
+
+        Auction settlements pay refunds (losing escrows, winners' escrow
+        surplus) and sale proceeds as *fresh* coin objects; without a
+        merge the payment coin drains even while the host stays solvent.
+        Called automatically by :meth:`place_bid` when the payment coin
+        alone cannot cover an escrow; safe to call any time after
+        :meth:`fund`.
+
+        Returns:
+            The payment coin's balance after merging.
+
+        Raises:
+            RuntimeError: the client was never funded, or a merge
+                transaction was refused.
+        """
+        if self.payment_coin is None:
+            raise RuntimeError("fund() the client before consolidating")
+        others = [
+            coin.object_id
+            for coin in self.executor.ledger.objects_owned_by(
+                self.account.address, COIN_TYPE
+            )
+            if coin.object_id != self.payment_coin
+        ]
+        if others:
+            submitted = self.executor.submit(
+                Transaction(
+                    sender=self.account.address,
+                    commands=[
+                        Command(
+                            "coin",
+                            "merge",
+                            {"coin": self.payment_coin, "other": other},
+                        )
+                        for other in others
+                    ],
+                )
+            )
+            if not submitted.effects.ok:
+                raise RuntimeError(
+                    f"coin consolidation failed: {submitted.effects.error}"
+                )
+        return self._coin_balance(self.payment_coin)
 
     # -- discovery ---------------------------------------------------------------
 
@@ -186,6 +288,7 @@ class HostClient:
         self._planners.pop(marketplace, None)
 
     def indexer(self, marketplace: str) -> MarketIndexer:
+        """This host's index of the marketplace (created on first use)."""
         found = self._indexers.get(marketplace)
         if found is None:
             found = MarketIndexer(self.executor.ledger, marketplace)
@@ -193,6 +296,7 @@ class HostClient:
         return found
 
     def planner(self, marketplace: str) -> PurchasePlanner:
+        """This host's planner over :meth:`indexer` (created on first use)."""
         found = self._planners.get(marketplace)
         if found is None:
             found = PurchasePlanner(self.indexer(marketplace))
@@ -200,11 +304,33 @@ class HostClient:
         return found
 
     def quote_path(self, marketplace: str, spec: PathSpec) -> list[PathQuote]:
-        """Every distinct priced way to reserve the path, cheapest first."""
+        """Every distinct priced way to reserve the path, cheapest first.
+
+        Args:
+            marketplace: the marketplace object id.
+            spec: the path requirement (window, bandwidth, optional
+                ``flex_start`` slack and ``budget_mist`` cap).
+
+        Returns:
+            Ranked :class:`~repro.marketdata.PathQuote` list (see
+            :meth:`PurchasePlanner.quote` for ordering and the budget
+            caveat).
+
+        Raises:
+            ListingNotFound: nothing covers the spec at any flex offset.
+        """
         return self.planner(marketplace).quote(spec)
 
     def plan_path(self, marketplace: str, spec: PathSpec) -> PurchasePlan:
-        """The cheapest in-budget quote, materialized into a purchase plan."""
+        """The cheapest in-budget quote, materialized into a purchase plan.
+
+        Returns:
+            A :class:`PurchasePlan` ready for :meth:`atomic_buy_and_redeem`.
+
+        Raises:
+            BudgetExceeded: the cheapest quote exceeds ``spec.budget_mist``.
+            ListingNotFound: nothing covers the spec.
+        """
         return plan_from_quote(self.planner(marketplace).best(spec))
 
     # -- legacy v1 surface (deprecation shims) -------------------------------------
@@ -287,6 +413,291 @@ class HostClient:
                 )
             )
         return PurchasePlan(requirements=requirements, hops=hops)
+
+    # -- sealed-bid auctions --------------------------------------------------------
+
+    def _scan_auctions(self, marketplace: str) -> None:
+        """Fold new AuctionOpened/AuctionSettled events into the local view."""
+        ledger = self.executor.ledger
+        cursor = self._auction_cursor.get(marketplace, 0)
+        open_books = self._open_auctions.setdefault(marketplace, {})
+        results = self._auction_results.setdefault(marketplace, {})
+        for event in ledger.events_since(cursor):
+            payload = event.payload
+            if payload.get("marketplace") != marketplace:
+                continue
+            if event.event_type == "AuctionOpened":
+                open_books[payload["auction"]] = payload
+            elif event.event_type == "AuctionSettled":
+                open_books.pop(payload["auction"], None)
+                results[payload["auction"]] = payload
+        self._auction_cursor[marketplace] = ledger.checkpoint
+
+    def open_auctions(self, marketplace: str) -> list[dict]:
+        """Every auction currently open on the marketplace (event-driven).
+
+        Returns:
+            The ``AuctionOpened`` snapshots (asset rectangle, reserve
+            price, share cap) of auctions no ``AuctionSettled`` has closed
+            yet, in arrival order.
+        """
+        self._scan_auctions(marketplace)
+        return list(self._open_auctions[marketplace].values())
+
+    def find_auction(
+        self,
+        marketplace: str,
+        isd_as: IsdAs,
+        interface: int,
+        is_ingress: bool,
+        start: int,
+        expiry: int,
+        bandwidth_kbps: int,
+    ) -> dict | None:
+        """The open auction covering this rectangle, or ``None``.
+
+        An auction covers a request when it sells the right interface
+        direction, its window contains ``[start, expiry)``, and the wanted
+        bandwidth fits between the asset's minimum and its total.  Earliest
+        open auction wins when several cover (deterministic).
+        """
+        for snapshot in self.open_auctions(marketplace):
+            if (
+                (snapshot["isd"], snapshot["asn"]) == (isd_as.isd, isd_as.asn)
+                and snapshot["interface"] == interface
+                and snapshot["is_ingress"] == is_ingress
+                and snapshot["start"] <= start
+                and expiry <= snapshot["expiry"]
+                and snapshot["min_bandwidth_kbps"]
+                <= bandwidth_kbps
+                <= snapshot["bandwidth_kbps"]
+            ):
+                return snapshot
+        return None
+
+    def place_bid(
+        self,
+        marketplace: str,
+        auction: str,
+        bandwidth_kbps: int,
+        max_price_mist: int,
+    ) -> SubmittedTransaction:
+        """Place one sealed bid, escrowing up to ``max_price_mist``.
+
+        ``max_price_mist`` is the bidder's total willingness to pay for
+        ``bandwidth_kbps`` over the auction's whole window; it converts to
+        the contract's unit price by flooring, so the escrow can never
+        exceed the stated maximum.  The escrow is locked until the seller
+        settles — :meth:`await_settle` reports the outcome and the refund.
+
+        Raises:
+            RuntimeError: the client was never funded.
+            ValueError: unknown auction, or a budget whose floored unit
+                price falls below the auction's reserve (the bid could
+                only lock its escrow and lose).
+        """
+        if self.payment_coin is None:
+            raise RuntimeError("fund() the client before bidding")
+        self._scan_auctions(marketplace)
+        snapshot = self._open_auctions.get(marketplace, {}).get(auction)
+        if snapshot is None:
+            raise ValueError(f"auction {auction[:8]}... is not open")
+        units = bandwidth_kbps * (snapshot["expiry"] - snapshot["start"])
+        unit_price = max_price_mist * 1_000_000 // units
+        if unit_price < snapshot["reserve_micromist_per_unit"]:
+            # Knowable client-side: such a bid would lock its escrow until
+            # settle only to be rejected as "below reserve".
+            raise ValueError(
+                f"budget {max_price_mist} MIST prices {unit_price} "
+                f"micromist/unit, below the auction's reserve of "
+                f"{snapshot['reserve_micromist_per_unit']}"
+            )
+        escrow_mist = -(-units * unit_price // 1_000_000)
+        if self._coin_balance(self.payment_coin) < escrow_mist:
+            # Earlier refunds arrive as fresh coins; fold them back in
+            # before giving up on the escrow.
+            self.consolidate_coins()
+        return self.executor.submit(
+            Transaction(
+                sender=self.account.address,
+                commands=[
+                    Command(
+                        "market",
+                        "place_bid",
+                        {
+                            "marketplace": marketplace,
+                            "auction": auction,
+                            "bandwidth_kbps": bandwidth_kbps,
+                            "price_micromist_per_unit": int(unit_price),
+                            "payment": self.payment_coin,
+                        },
+                    )
+                ],
+            )
+        )
+
+    def await_settle(self, marketplace: str, auction: str) -> BidSettlement | None:
+        """This host's outcome in an auction, once it settles.
+
+        Returns:
+            ``None`` while the auction is still open (poll again after the
+            AS's next settle pass), else a :class:`BidSettlement`
+            aggregating every bid this host placed — winners' assets and
+            clearing-price charges, losers' full refunds.
+        """
+        self._scan_auctions(marketplace)
+        payload = self._auction_results.get(marketplace, {}).get(auction)
+        if payload is None:
+            return None
+        mine = self.account.address
+        won_bw = paid = refund = 0
+        assets: list[str] = []
+        reasons: list[str] = []
+        for winner in payload["winners"]:
+            if winner["bidder"] != mine:
+                continue
+            won_bw += winner["bandwidth_kbps"]
+            paid += winner["paid_mist"]
+            refund += winner["refund_mist"]
+            assets.append(winner["asset"])
+        for loser in payload["losers"]:
+            if loser["bidder"] != mine:
+                continue
+            refund += loser["refund_mist"]
+            reasons.append(loser["reason"])
+        return BidSettlement(
+            auction=auction,
+            won=bool(assets),
+            bandwidth_kbps=won_bw,
+            paid_mist=paid,
+            refund_mist=refund,
+            clearing_price_micromist=payload["clearing_price_micromist"],
+            assets=tuple(assets),
+            reasons=tuple(reasons),
+        )
+
+    def acquire(
+        self,
+        marketplace: str,
+        isd_as: IsdAs,
+        interface: int,
+        is_ingress: bool,
+        start: int,
+        expiry: int,
+        bandwidth_kbps: int,
+        max_price_mist: int,
+    ) -> AcquireOutcome:
+        """Bid into the window's auction, or buy posted when none is open.
+
+        The auction-aware acquisition front door: when an open auction
+        covers the rectangle, a sealed bid worth up to ``max_price_mist``
+        goes in (ownership is decided at settle time); otherwise the
+        planner's posted-price machinery takes over — cheapest covering
+        listing, bought immediately, still subject to the budget.
+
+        Returns:
+            An :class:`AcquireOutcome` (``mode`` ``"bid"`` or ``"bought"``).
+
+        Raises:
+            ListingNotFound: no auction *and* no posted listing covers.
+            BudgetExceeded: the posted cover costs more than the budget.
+        """
+        if self.payment_coin is None:
+            raise RuntimeError("fund() the client before acquiring")
+        auction = self.find_auction(
+            marketplace, isd_as, interface, is_ingress, start, expiry, bandwidth_kbps
+        )
+        if auction is not None:
+            submitted = self.place_bid(
+                marketplace, auction["auction"], bandwidth_kbps, max_price_mist
+            )
+            return AcquireOutcome(
+                mode="bid", submitted=submitted, reference=auction["auction"]
+            )
+        found = self.indexer(marketplace).best(
+            ListingQuery(
+                isd_as=isd_as,
+                interface=interface,
+                is_ingress=is_ingress,
+                start=start,
+                expiry=expiry,
+                bandwidth_kbps=bandwidth_kbps,
+            )
+        )
+        if found is None:
+            raise ListingNotFound(
+                f"no auction or listing at {isd_as} if={interface} "
+                f"{'ingress' if is_ingress else 'egress'} covers "
+                f"[{start},{expiry})x{bandwidth_kbps}kbps"
+            )
+        if found.price_mist > max_price_mist:
+            raise BudgetExceeded(
+                f"posted cover costs {found.price_mist} MIST, over the "
+                f"{max_price_mist} MIST budget"
+            )
+        submitted = self.executor.submit(
+            Transaction(
+                sender=self.account.address,
+                commands=[
+                    Command(
+                        "market",
+                        "buy",
+                        {
+                            "marketplace": marketplace,
+                            "listing": found.listing.listing_id,
+                            "start": found.start,
+                            "expiry": found.expiry,
+                            "bandwidth_kbps": bandwidth_kbps,
+                            "payment": self.payment_coin,
+                        },
+                    )
+                ],
+            )
+        )
+        price = 0
+        if submitted.effects.ok:
+            price = submitted.effects.returns[0]["price_mist"]
+        return AcquireOutcome(
+            mode="bought",
+            submitted=submitted,
+            reference=found.listing.listing_id,
+            price_mist=price,
+        )
+
+    def redeem_pair(
+        self, ingress_asset: str, egress_asset: str
+    ) -> SubmittedTransaction:
+        """Redeem a compatible ingress/egress asset pair this host owns.
+
+        The redemption path for assets acquired *outside* an atomic
+        buy-and-redeem — auction winnings, transfers, fused remainders.
+        Both assets must agree on AS, issuer, bandwidth and window (the
+        asset contract enforces it); the issuing AS answers the emitted
+        redeem request with a sealed reservation that
+        :meth:`collect_reservations` decrypts.
+
+        Returns:
+            The submitted transaction (``returns[0]["request"]`` names the
+            redeem request routed to the AS).
+        """
+        ephemeral = KeyPair.generate(self.rng)
+        self._ephemeral_keys.append(ephemeral)
+        return self.executor.submit(
+            Transaction(
+                sender=self.account.address,
+                commands=[
+                    Command(
+                        "asset",
+                        "redeem",
+                        {
+                            "ingress": ingress_asset,
+                            "egress": egress_asset,
+                            "public_key": ephemeral.public.to_bytes(256, "big"),
+                        },
+                    )
+                ],
+            )
+        )
 
     # -- atomic purchase ------------------------------------------------------------
 
@@ -438,7 +849,16 @@ class HostClient:
     # -- delivery ------------------------------------------------------------------
 
     def collect_reservations(self) -> list[FlyoverReservation]:
-        """Decrypt all sealed reservations delivered since the last call."""
+        """Decrypt all sealed reservations delivered since the last call.
+
+        Returns:
+            One :class:`~repro.hummingbird.reservation.FlyoverReservation`
+            per new delivery addressed to this host, in delivery order.
+
+        Raises:
+            ValueError: a delivery could not be decrypted with any of this
+                client's ephemeral keys (wrong recipient or corrupt box).
+        """
         ledger = self.executor.ledger
         events = ledger.events_since(self._delivery_checkpoint, "ReservationDelivered")
         self._delivery_checkpoint = ledger.checkpoint

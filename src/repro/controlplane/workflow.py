@@ -122,6 +122,7 @@ def deploy_market(
     admission_policy=None,
     pricer=None,
     shard_seconds: float | None = None,
+    auction_interfaces=None,
 ) -> MarketDeployment:
     """Stand up ledger, contracts, marketplace, and one service per AS.
 
@@ -134,7 +135,12 @@ def deploy_market(
     deployment fills every admission calendar without headroom);
     ``admission_policy`` and ``pricer`` configure each AS's
     :class:`~repro.admission.AdmissionController`; ``shard_seconds``
-    switches its calendars to time-sharded ones (None = monolithic).
+    switches its calendars to time-sharded ones (None = monolithic);
+    ``auction_interfaces`` (``True`` or a set of ``(interface,
+    is_ingress)`` pairs) puts those interface directions into sealed-bid
+    auction mode — the seed listings are still posted, but
+    :meth:`~repro.controlplane.asclient.AsService.offer_capacity` on such
+    an interface opens an auction instead of a listing.
     """
     from repro.admission import AdmissionController
     rng = random.Random(seed)
@@ -182,6 +188,7 @@ def deploy_market(
                 policy=admission_policy,
                 pricer=pricer,
                 shard_seconds=shard_seconds,
+                auction_interfaces=auction_interfaces,
             ),
         )
         registered = service.register()

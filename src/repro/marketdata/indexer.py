@@ -203,6 +203,24 @@ class MarketIndexer:
     ``sync()`` applies every not-yet-seen ledger event (the event list is
     append-only, so the cursor is a plain position); queries answer from
     the in-memory structures without touching the object store.
+
+    >>> from repro.ledger.chain import Ledger
+    >>> from repro.ledger.transactions import Event
+    >>> from repro.marketdata.query import ListingQuery
+    >>> from repro.scion.addresses import IsdAs
+    >>> ledger = Ledger()
+    >>> ledger.events.append(Event("Listed", {
+    ...     "marketplace": "m", "listing": "L1", "asset": "A1",
+    ...     "seller": "as-7", "price_micromist_per_unit": 50,
+    ...     "isd": 1, "asn": 7, "interface": 1, "is_ingress": True,
+    ...     "bandwidth_kbps": 10_000, "start": 0, "expiry": 3600,
+    ...     "granularity": 60, "min_bandwidth_kbps": 100}, "tx", 1))
+    >>> indexer = MarketIndexer(ledger, "m")
+    >>> found = indexer.best(ListingQuery(IsdAs(1, 7), 1, True, 60, 120, 2_000))
+    >>> (found.listing.listing_id, found.price_mist)
+    ('L1', 6)
+    >>> indexer.best(ListingQuery(IsdAs(1, 7), 1, True, 60, 120, 20_000)) is None
+    True
     """
 
     def __init__(self, ledger, marketplace: str) -> None:
@@ -216,7 +234,17 @@ class MarketIndexer:
     # -- event consumption -------------------------------------------------------
 
     def sync(self) -> int:
-        """Apply all new ledger events; returns how many were applied."""
+        """Apply all new ledger events.
+
+        Idempotent and incremental: the cursor is a position into the
+        append-only event list, so calling it after every transaction or
+        once per epoch gives the same index.
+
+        Returns:
+            How many events actually mutated the index (events of other
+            marketplaces, non-market events, and unknown listings do not
+            count).
+        """
         events = self.ledger.events
         applied = 0
         while self._position < len(events):
@@ -289,9 +317,11 @@ class MarketIndexer:
         return len(self._by_listing)
 
     def listing(self, listing_id: str) -> IndexedListing | None:
+        """One live listing by id (``None`` once sold out or delisted)."""
         return self._by_listing.get(listing_id)
 
     def listings(self) -> list[IndexedListing]:
+        """Every live listing across all keys (unspecified order)."""
         return list(self._by_listing.values())
 
     def best(self, query: ListingQuery, sync: bool = True) -> Candidate | None:
@@ -300,6 +330,18 @@ class MarketIndexer:
         This is the point-query primitive: ``flex_start`` and
         ``budget_mist`` are planner concerns, so queries carrying them are
         rejected rather than silently answered without slack or cap.
+
+        Args:
+            query: the rectangle wanted on one interface direction.
+            sync: pull new ledger events first (pass ``False`` inside a
+                batch that already synced).
+
+        Returns:
+            The cheapest :class:`~repro.marketdata.query.Candidate` (ties
+            broken by aligned start, then listing id), or ``None``.
+
+        Raises:
+            ValueError: the query carries ``flex_start``/``budget_mist``.
         """
         if query.flex_start or query.budget_mist is not None:
             raise ValueError(
@@ -318,7 +360,14 @@ class MarketIndexer:
     def candidates(
         self, query: ListingQuery, limit: int, sync: bool = True
     ) -> list[Candidate]:
-        """Up to ``limit`` cheapest covers for a zero-flex query."""
+        """Up to ``limit`` cheapest covers for a zero-flex query.
+
+        Same contract and ordering as :meth:`best`; an uncoverable query
+        returns an empty list.
+
+        Raises:
+            ValueError: the query carries ``flex_start``/``budget_mist``.
+        """
         if query.flex_start or query.budget_mist is not None:
             raise ValueError(
                 "MarketIndexer.candidates answers zero-flex point queries; "

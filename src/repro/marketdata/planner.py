@@ -78,7 +78,30 @@ class PathQuote:
 
 
 class PurchasePlanner:
-    """Ranked path quotes over a :class:`MarketIndexer`."""
+    """Ranked path quotes over a :class:`MarketIndexer`.
+
+    >>> from repro.ledger.chain import Ledger
+    >>> from repro.ledger.transactions import Event
+    >>> from repro.scion.addresses import IsdAs
+    >>> def listed(listing, interface, is_ingress, price):
+    ...     return Event("Listed", {
+    ...         "marketplace": "m", "listing": listing, "asset": listing,
+    ...         "seller": "as-7", "price_micromist_per_unit": price,
+    ...         "isd": 1, "asn": 7, "interface": interface,
+    ...         "is_ingress": is_ingress, "bandwidth_kbps": 10_000,
+    ...         "start": 0, "expiry": 3600, "granularity": 60,
+    ...         "min_bandwidth_kbps": 100}, "tx", 1)
+    >>> ledger = Ledger()
+    >>> ledger.events.extend([listed("IN", 1, True, 50),
+    ...                       listed("EG", 2, False, 80)])
+    >>> planner = PurchasePlanner(MarketIndexer(ledger, "m"))
+    >>> hop = planner.resolve_hop(IsdAs(1, 7), 1, 2, 0, 600, 1_000)
+    >>> (hop.ingress_candidate.listing.listing_id,
+    ...  hop.egress_candidate.listing.listing_id)
+    ('IN', 'EG')
+    >>> hop.price_mist  # ceil(600k units * 50µ) + ceil(600k units * 80µ)
+    78
+    """
 
     def __init__(self, indexer: MarketIndexer) -> None:
         self.indexer = indexer
@@ -178,6 +201,21 @@ class PurchasePlanner:
         granularity listed on the involved interfaces (coarser steps would
         skip sellable windows, finer ones only repeat them); quotes that
         resolve to identical listings and windows are deduplicated.
+
+        Args:
+            spec: the whole path's requirement (one entry per crossing).
+
+        Returns:
+            Non-empty list of :class:`PathQuote`, ranked by (price,
+            offset).  The spec's ``budget_mist`` does NOT filter here —
+            callers see over-budget quotes ranked too; :meth:`best`
+            enforces the budget.
+
+        Raises:
+            ListingNotFound: no offset inside the flex range covers every
+                hop (the error of the first failing offset).
+            IncompatibleGranularity: some hop's listings admit no common
+                aligned window at any offset.
         """
         self.indexer.sync()
         step = self._flex_step(spec)
@@ -234,7 +272,13 @@ class PurchasePlanner:
         return quotes
 
     def best(self, spec: PathSpec) -> PathQuote:
-        """The cheapest quote; enforces the spec's budget cap."""
+        """The cheapest quote; enforces the spec's budget cap.
+
+        Raises:
+            BudgetExceeded: the cheapest quote still exceeds
+                ``spec.budget_mist``.
+            ListingNotFound: nothing covers the spec (see :meth:`quote`).
+        """
         cheapest = self.quote(spec)[0]
         if spec.budget_mist is not None and cheapest.price_mist > spec.budget_mist:
             raise BudgetExceeded(

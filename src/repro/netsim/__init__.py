@@ -6,8 +6,11 @@ from repro.netsim.metrics import FlowMetrics
 from repro.netsim.nodes import HostSink, RouterNode, SimPacket
 from repro.netsim.scenarios import (
     SIM_PRF,
+    AuctionBuyerOutcome,
+    AuctionExperimentResult,
     CongestionResult,
     PathSimulation,
+    auction_experiment,
     build_path_simulation,
     congestion_experiment,
     linear_path,
@@ -23,8 +26,11 @@ __all__ = [
     "RouterNode",
     "SimPacket",
     "SIM_PRF",
+    "AuctionBuyerOutcome",
+    "AuctionExperimentResult",
     "CongestionResult",
     "PathSimulation",
+    "auction_experiment",
     "build_path_simulation",
     "congestion_experiment",
     "linear_path",

@@ -504,6 +504,298 @@ def flex_market_experiment(
     )
 
 
+@dataclass
+class AuctionBuyerOutcome:
+    """One buyer's fate in BOTH arms of :func:`auction_experiment`."""
+
+    buyer: str
+    requested_kbps: int
+    valuation_micromist: int  # per-unit willingness to pay
+    posted_admitted: bool
+    posted_quote_micromist: int  # the posted price this buyer faced
+    posted_paid_mist: int
+    posted_reason: str
+    auction_won: bool
+    auction_paid_mist: int
+    auction_reason: str
+    metrics: dict  # auction-arm data-plane metrics (empty when not simulated)
+
+
+@dataclass
+class AuctionExperimentResult:
+    """Outcome of :func:`auction_experiment`: posted vs auctioned window."""
+
+    buyers: list[AuctionBuyerOutcome]
+    capacity_kbps: int
+    supply_kbps: int
+    reserve_micromist: int
+    clearing_price_micromist: int
+    posted_revenue_mist: int
+    auction_revenue_mist: int
+    posted_peak_kbps: int
+    auction_peak_kbps: int
+    bottleneck_utilization: float
+
+    @property
+    def oversold(self) -> bool:
+        """Did either arm commit more than the physical capacity?"""
+        return (
+            self.posted_peak_kbps > self.capacity_kbps
+            or self.auction_peak_kbps > self.capacity_kbps
+        )
+
+    def rejection_rate(self, arm: str) -> float:
+        """Fraction of buyers who got nothing (``arm``: posted|auction)."""
+        if not self.buyers:
+            return 0.0
+        if arm == "posted":
+            losses = sum(1 for b in self.buyers if not b.posted_admitted)
+        else:
+            losses = sum(1 for b in self.buyers if not b.auction_won)
+        return losses / len(self.buyers)
+
+    def efficiency(self, arm: str) -> float:
+        """Captured valuation: awarded value / best achievable value.
+
+        The market-design fairness yardstick: 1.0 means the window went to
+        exactly the buyers who value it most.  Posted prices allocate by
+        *arrival order* among those who can afford the quote; the auction
+        allocates by *bid order*, so it should sit at (or near) 1.0.
+        """
+        demands = sorted((b.valuation_micromist for b in self.buyers), reverse=True)
+        per_buyer = self.buyers[0].requested_kbps if self.buyers else 0
+        slots = per_buyer and self.capacity_kbps // per_buyer
+        best = sum(demands[:slots])
+        if best == 0:
+            return 1.0
+        if arm == "posted":
+            captured = sum(
+                b.valuation_micromist for b in self.buyers if b.posted_admitted
+            )
+        else:
+            captured = sum(
+                b.valuation_micromist for b in self.buyers if b.auction_won
+            )
+        return captured / best
+
+    def jain_index(self, arm: str) -> float:
+        """Jain's fairness index over awarded bandwidth across all buyers."""
+        if arm == "posted":
+            shares = [b.requested_kbps if b.posted_admitted else 0 for b in self.buyers]
+        else:
+            shares = [b.requested_kbps if b.auction_won else 0 for b in self.buyers]
+        total = sum(shares)
+        if total == 0:
+            return 1.0
+        return total * total / (len(shares) * sum(s * s for s in shares))
+
+
+def auction_experiment(
+    topology: Topology,
+    path: ForwardingPath,
+    num_buyers: int = 10,
+    per_buyer_kbps: int = 2000,
+    link_rate_bps: float = 10_000_000.0,
+    reservable_fraction: float = 0.8,
+    duration: float = 1.5,
+    payload_bytes: int = 1000,
+    base_price_micromist: int = 50,
+    seed: int = 1,
+    prf_factory: PrfFactory = SIM_PRF,
+    shard_seconds: float | None = None,
+    max_share_fraction: float = 0.5,
+) -> AuctionExperimentResult:
+    """Sealed-bid uniform-price auction vs posted scarcity prices, head-on.
+
+    The PR 1 contention workload — ``num_buyers`` buyers, heterogeneous
+    willingness to pay, one bottleneck interface window — allocated two
+    ways against identical admission controllers:
+
+    * **posted arm**: buyers arrive in order and face the current
+      scarcity-adjusted quote; a buyer purchases iff the quote is within
+      their valuation and admission still fits.  Arrival order decides who
+      wins the contended window, and early buyers pay *less* than late
+      ones — the money the operator's guessed curve leaves on the table.
+    * **auction arm**: the same buyers seal bids at their valuations into
+      a :class:`~repro.admission.WindowAuction` (reserve = the posted
+      quote at open, share cap = the proportional-share bound) and the
+      window clears at one uniform price — the highest losing bid.
+
+    The auction arm's winners then *use* their reservations: a packet
+    simulation runs every buyer (winners protected, losers best effort)
+    through the bottleneck, reproducing the contention experiment's
+    data-plane picture on top of auction-allocated windows.  With
+    ``duration = 0`` the packet phase is skipped (clearing-only runs).
+
+    Returns:
+        An :class:`AuctionExperimentResult`; its ``oversold`` property is
+        False iff neither arm committed past physical capacity, and
+        ``auction_revenue_mist >= posted_revenue_mist`` whenever demand
+        actually contends (the experiment's headline claim, asserted in
+        ``tests/netsim/test_netsim.py``).
+    """
+    from repro.admission import (
+        ACTIVE,
+        AdmissionController,
+        ProportionalShare,
+        ScarcityPricer,
+    )
+
+    crossings = as_crossings(path)
+    if len(crossings) < 2:
+        raise ValueError("need at least one inter-AS link for a bottleneck")
+    bottleneck = crossings[1]  # ingress side of the first inter-AS link
+    capacity_kbps = int(link_rate_bps / 1000 * reservable_fraction)
+    simulate = duration > 0
+    simulation = (
+        build_path_simulation(
+            topology, path, link_rate_bps=link_rate_bps, prf_factory=prf_factory
+        )
+        if simulate
+        else None
+    )
+    start = (
+        int(simulation.clock.now()) if simulate else 1_700_000_000
+    )
+    window_end = start + int(duration) + 60
+    window_seconds = window_end - start
+    reserve_kbps = int(per_buyer_kbps * 1.25)  # cover wire overhead
+    rng = random.Random(seed)
+    valuations = [
+        int(base_price_micromist * rng.uniform(1.0, 12.0)) for _ in range(num_buyers)
+    ]
+
+    def paid_mist(unit_price: int) -> int:
+        return -(-reserve_kbps * window_seconds * unit_price // 1_000_000)
+
+    # -- posted arm: arrival order vs the scarcity curve -----------------------
+    posted = AdmissionController(
+        capacity_kbps, pricer=ScarcityPricer(), shard_seconds=shard_seconds
+    )
+    posted_outcomes: list[tuple[bool, int, int, str]] = []
+    posted_revenue = 0
+    for index, valuation in enumerate(valuations):
+        quote = posted.quote(
+            base_price_micromist, bottleneck.ingress, True, start, window_end
+        )
+        if quote > valuation:
+            posted_outcomes.append((False, quote, 0, "priced out"))
+            continue
+        decision = posted.admit_reservation(
+            bottleneck.ingress, True, reserve_kbps, start, window_end,
+            tag=f"buyer-{index}",
+        )
+        if decision.admitted:
+            posted_revenue += paid_mist(quote)
+            posted_outcomes.append((True, quote, paid_mist(quote), "admitted"))
+        else:
+            posted_outcomes.append((False, quote, 0, decision.reason))
+
+    # -- auction arm: one sealed-bid book, cleared at a uniform price ----------
+    auctioneer = AdmissionController(
+        capacity_kbps,
+        pricer=ScarcityPricer(),
+        policy=ProportionalShare(max_share_fraction),
+        shard_seconds=shard_seconds,
+        auction_interfaces=True,
+    )
+    book = auctioneer.open_auction(
+        bottleneck.ingress, True, capacity_kbps, start, window_end,
+        base_price_micromist,
+    )
+    for index, valuation in enumerate(valuations):
+        book.place(f"buyer-{index}", reserve_kbps, valuation)
+    supply = auctioneer.settle_supply(
+        bottleneck.ingress, True, start, window_end, capacity_kbps
+    )
+    outcome = book.clear(supply)
+    winners = {bid.bidder for bid in outcome.winners}
+    reasons = {lost.bid.bidder: lost.reason for lost in outcome.losers}
+    for bid in outcome.winners:
+        decision = auctioneer.admit_reservation(
+            bottleneck.ingress, True, bid.bandwidth_kbps, start, window_end,
+            tag=bid.bidder,
+        )
+        if not decision.admitted:  # cannot happen: clearing respects supply
+            raise RuntimeError(f"auction oversold the window: {decision.reason}")
+    auction_revenue = outcome.revenue_mist(window_seconds)
+
+    # -- data plane: winners protected, everyone sends --------------------------
+    sources = []
+    flow_metrics: list[FlowMetrics | None] = []
+    if simulate:
+        for index in range(num_buyers):
+            if f"buyer-{index}" in winners:
+                reservations = simulation.grant_full_path(
+                    reserve_kbps, start, int(duration) + 60, res_id=index
+                )
+                builder = simulation.hummingbird_source(reservations)
+            else:
+                builder = simulation.best_effort_source()
+            metrics = simulation.sink.flow(index + 1)
+            flow_metrics.append(metrics)
+            source = CbrSource(
+                simulation.loop,
+                builder,
+                simulation.entry,
+                metrics,
+                rate_bps=per_buyer_kbps * 1000.0,
+                payload_bytes=payload_bytes,
+                flow_id=index + 1,
+                jitter=0.05,
+                rng=rng,
+            )
+            sources.append(source)
+            source.start(0.01 * index)
+        simulation.loop.run_until(simulation.clock.now() + duration)
+        for source in sources:
+            source.stop()
+    else:
+        flow_metrics = [None] * num_buyers
+
+    per_winner = paid_mist(outcome.clearing_price_micromist)
+    buyers = []
+    for index, valuation in enumerate(valuations):
+        name = f"buyer-{index}"
+        admitted, quote, paid, posted_reason = posted_outcomes[index]
+        won = name in winners
+        buyers.append(
+            AuctionBuyerOutcome(
+                buyer=name,
+                requested_kbps=reserve_kbps,
+                valuation_micromist=valuation,
+                posted_admitted=admitted,
+                posted_quote_micromist=quote,
+                posted_paid_mist=paid,
+                posted_reason=posted_reason,
+                auction_won=won,
+                auction_paid_mist=per_winner if won else 0,
+                auction_reason="won" if won else reasons.get(name, "no bid"),
+                metrics=flow_metrics[index].summary() if flow_metrics[index] else {},
+            )
+        )
+
+    posted_peak = posted.calendar(bottleneck.ingress, True, ACTIVE).peak_commitment(
+        start, window_end
+    )
+    auction_peak = auctioneer.calendar(
+        bottleneck.ingress, True, ACTIVE
+    ).peak_commitment(start, window_end)
+    link = simulation.links[0] if simulate and simulation.links else None
+    return AuctionExperimentResult(
+        buyers=buyers,
+        capacity_kbps=capacity_kbps,
+        supply_kbps=supply,
+        reserve_micromist=book.reserve_micromist,
+        clearing_price_micromist=outcome.clearing_price_micromist,
+        posted_revenue_mist=posted_revenue,
+        auction_revenue_mist=auction_revenue,
+        posted_peak_kbps=int(posted_peak),
+        auction_peak_kbps=int(auction_peak),
+        bottleneck_utilization=link.utilization(duration) if link else 0.0,
+    )
+
+
 def contention_experiment(
     topology: Topology,
     path: ForwardingPath,

@@ -7,6 +7,7 @@ from repro.netsim.events import EventLoop
 from repro.netsim.link import Link
 from repro.netsim.metrics import FlowMetrics
 from repro.netsim.scenarios import (
+    auction_experiment,
     congestion_experiment,
     contention_experiment,
     flex_market_experiment,
@@ -198,6 +199,57 @@ class TestContentionExperiment:
             duration=0.5,
         )
         assert len(result.admitted) == 3 and not result.rejected
+
+
+class TestAuctionExperiment:
+    def test_auction_beats_posted_revenue_without_oversell(self):
+        """The headline claim: under the contention workload a sealed-bid
+        uniform-price auction extracts at least posted-scarcity revenue,
+        allocates the window to the highest-value buyers, and never
+        commits past physical capacity."""
+        topology, path = linear_path(3)
+        result = auction_experiment(topology, path, duration=0.5)
+        assert result.auction_revenue_mist >= result.posted_revenue_mist
+        assert not result.oversold
+        assert result.posted_peak_kbps <= result.capacity_kbps
+        assert result.auction_peak_kbps <= result.capacity_kbps
+        # The auction clears above the reserve when demand contends...
+        assert result.clearing_price_micromist >= result.reserve_micromist
+        # ...and captures the full achievable valuation (posted allocates
+        # by arrival order, so it usually captures less).
+        assert result.efficiency("auction") == pytest.approx(1.0)
+        assert result.efficiency("posted") <= result.efficiency("auction")
+
+    def test_winners_protected_losers_best_effort_on_the_data_plane(self):
+        topology, path = linear_path(3)
+        result = auction_experiment(topology, path, duration=0.5)
+        winners = [b for b in result.buyers if b.auction_won]
+        losers = [b for b in result.buyers if not b.auction_won]
+        assert winners and losers
+        for winner in winners:
+            assert winner.metrics["goodput_mbps"] > 1.8
+            assert winner.auction_paid_mist > 0
+        # Everyone contends, so the losers' best-effort goodput collapses
+        # below the reserved flows'.
+        worst_winner = min(w.metrics["goodput_mbps"] for w in winners)
+        best_loser = max(l.metrics["goodput_mbps"] for l in losers)
+        assert best_loser < worst_winner
+
+    def test_clearing_only_run_skips_the_packet_phase(self):
+        topology, path = linear_path(3)
+        result = auction_experiment(topology, path, duration=0, seed=3)
+        assert all(b.metrics == {} for b in result.buyers)
+        assert result.bottleneck_utilization == 0.0
+        assert not result.oversold
+
+    def test_uniform_price_is_single_and_within_bids(self):
+        topology, path = linear_path(3)
+        result = auction_experiment(topology, path, duration=0, seed=5)
+        paid = {b.auction_paid_mist for b in result.buyers if b.auction_won}
+        assert len(paid) == 1  # ONE price for every winner
+        for buyer in result.buyers:
+            if buyer.auction_won:
+                assert result.clearing_price_micromist <= buyer.valuation_micromist
 
 
 class TestFlexMarketExperiment:

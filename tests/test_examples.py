@@ -26,4 +26,5 @@ def test_example_runs(script):
 def test_examples_exist():
     names = {p.name for p in EXAMPLES}
     assert "quickstart.py" in names
+    assert "sealed_bid_auction.py" in names
     assert len(EXAMPLES) >= 3

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs job (stdlib only).
+
+Verifies, for every ``[text](target)`` link in the given markdown files:
+
+* relative file targets exist (resolved against the linking file);
+* ``#anchor`` fragments — bare or after a file target — resolve to a
+  heading in the target file, using GitHub's slugging rules (lowercase,
+  spaces to dashes, punctuation dropped);
+* external ``http(s)://`` targets are NOT fetched (CI must not depend on
+  the network); they are only syntax-checked.
+
+Exits non-zero listing every broken link, so docs/ cross-references and
+README pointers cannot rot silently.
+
+Run:  python tools/check_links.py README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+LINK = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, strip punctuation, spaces to dashes."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: pathlib.Path) -> set[str]:
+    text = CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    return {github_slug(m.group(1)) for m in HEADING.finditer(text)}
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    problems = []
+    text = CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                problems.append(f"{path}: broken link -> {target} (missing {base})")
+                continue
+        else:
+            resolved = path.resolve()
+        if fragment:
+            if resolved.suffix != ".md":
+                continue  # anchors into non-markdown files are not checked
+            if github_slug(fragment) not in anchors_of(resolved):
+                problems.append(
+                    f"{path}: broken anchor -> {target} "
+                    f"(no heading #{fragment} in {resolved.name})"
+                )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    problems: list[str] = []
+    checked = 0
+    for pattern in argv:
+        path = pathlib.Path(pattern)
+        if not path.exists():
+            problems.append(f"{path}: file does not exist")
+            continue
+        checked += 1
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {checked} files: {len(problems)} broken links")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
