@@ -6,11 +6,15 @@
 * PRF backend: AES-CMAC vs keyed BLAKE2 per-operation cost.
 """
 
+import argparse
 import random
 
 import pytest
 
-from benchmarks.conftest import report
+try:
+    from benchmarks.conftest import bench_result, measure_op, report, write_bench_json
+except ImportError:  # executed as a script from the benchmarks/ directory
+    from conftest import bench_result, measure_op, report, write_bench_json
 
 from repro.analysis import render_comparison
 from repro.crypto.prf import PrfFactory
@@ -140,3 +144,39 @@ def test_ablation_qos_report(benchmark):
 def test_ablation_prf_report(benchmark):
     """Regenerate the report once (timed as a single benchmark round)."""
     benchmark.pedantic(_ablation_prf_report_impl, rounds=1, iterations=1)
+
+
+def main() -> None:
+    from repro.hummingbird.policing import TokenBucketArray
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--samples", type=int, default=2000, help="ops to time")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write machine-readable results to PATH")
+    args = parser.parse_args()
+    results = []
+
+    bucket = TokenBucketArray(capacity=100_000)
+    counter = [0]
+
+    def police():
+        counter[0] += 1
+        bucket.monitor(counter[0] % 100_000, 4000, 600, 1_700_000_000.0)
+
+    stats = measure_op(police, samples=args.samples)
+    results.append(
+        bench_result("ablation_policing_monitor", {"capacity": 100_000}, **stats)
+    )
+    print(f"policing monitor: {stats['ops_per_sec']:,.0f} ops/s")
+
+    block = bytes(16)
+    for backend in ("aes", "blake2"):
+        prf = PrfFactory(backend)(bytes(16))
+        stats = measure_op(lambda: prf.compute(block), samples=args.samples)
+        results.append(bench_result("ablation_prf_block", {"backend": backend}, **stats))
+        print(f"prf {backend}: {stats['ops_per_sec']:,.0f} ops/s")
+    write_bench_json(args.json, results)
+
+
+if __name__ == "__main__":
+    main()

@@ -26,13 +26,19 @@ import time
 import numpy as np
 
 try:
-    from benchmarks.conftest import report
+    from benchmarks.conftest import bench_result, report, write_bench_json
 except ImportError:  # executed as a script from the benchmarks/ directory
-    from conftest import report
+    from conftest import bench_result, report, write_bench_json
 
-from repro.admission import CapacityCalendar, FirstComeFirstServed, ShardedCalendar
+from repro.admission import (
+    AdmissionController,
+    CapacityCalendar,
+    FirstComeFirstServed,
+    ShardedCalendar,
+)
 from repro.admission.policy import AdmissionRequest
 from repro.analysis import render_comparison
+from repro.telemetry import get_registry
 
 HORIZON = 1_000_000.0  # seconds of calendar time the reservations spread over
 CAPACITY_KBPS = 100_000_000  # 100 Gbps interface
@@ -258,6 +264,48 @@ def test_bench_sharded_vs_monolithic_report():
     assert speedup >= MIN_CHURN_SPEEDUP, metrics
 
 
+CONTROLLER_ADMITS = 20_000
+CONTROLLER_ADMITS_SMOKE = 5_000
+
+
+def controller_admit_rate(count: int, seed: int = 13) -> float:
+    """Sequential ``AdmissionController.admit_issue`` throughput.
+
+    This is the telemetry-sensitive hot path: with a live registry every
+    decision pays one counter increment, one histogram observation, and two
+    ``perf_counter`` reads; with the null registry those collapse to a
+    single boolean test.  ``tools/perf_guard.py`` runs this section with
+    ``REPRO_TELEMETRY`` on and off and enforces the <5 % overhead bar.
+    """
+    rng = np.random.default_rng(seed)
+    controller = AdmissionController(capacity_kbps=CAPACITY_KBPS)
+    starts = rng.uniform(0, HORIZON, count)
+    durations = rng.uniform(60, 7200, count)
+    bandwidths = rng.integers(100, 4000, count)
+    began = time.perf_counter()
+    for bandwidth, start, duration in zip(bandwidths, starts, durations):
+        controller.admit_issue(
+            1, True, int(bandwidth), float(start), float(start + duration)
+        )
+    return count / (time.perf_counter() - began)
+
+
+def _json_rows(
+    metrics, load_count: int, tracked_count: int, churn_ops: int = 3 * (800 + 400)
+) -> list[dict]:
+    phase_ops = {"load": load_count, "tracked_load": tracked_count, "churn": churn_ops}
+    return [
+        bench_result(
+            f"admission_{variant}_{phase}",
+            {"load_count": load_count, "tracked_count": tracked_count},
+            ops_per_sec=ops / seconds,
+        )
+        for variant, phases in sorted(metrics.items())
+        for phase, seconds in sorted(phases.items())
+        for ops in [phase_ops[phase]]
+    ]
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -266,20 +314,42 @@ def main() -> None:
         help="scaled-down sharded-vs-monolithic comparison (CI-sized, no "
         "speedup floor): 2x10^5 bulk load, 5x10^4 tracked churn",
     )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write machine-readable results to PATH"
+    )
     args = parser.parse_args()
     if args.smoke:
-        rows, _ = sharded_comparison(
+        rows, metrics = sharded_comparison(
             load_count=200_000,
             tracked_count=50_000,
             churn_admits=200,
             churn_releases=100,
         )
         print(_sharded_report(rows, "(smoke)"))
+        json_rows = _json_rows(metrics, 200_000, 50_000, churn_ops=3 * (200 + 100))
+        admits = CONTROLLER_ADMITS_SMOKE
     else:
         rows, metrics = sharded_comparison(
             load_count=10_000_000, tracked_count=1_000_000
         )
         print(_sharded_report(rows, "(10^7 bulk load, 10^6 tracked churn)"))
+        json_rows = _json_rows(metrics, 10_000_000, 1_000_000)
+        admits = CONTROLLER_ADMITS
+    telemetry_mode = "on" if get_registry().enabled else "off"
+    admit_rate = controller_admit_rate(admits)
+    print(
+        f"\ncontroller admit hot path: {admit_rate:,.0f} admits/s "
+        f"(telemetry {telemetry_mode}, {admits:,} sequential admits)"
+    )
+    json_rows.append(
+        bench_result(
+            "admission_controller_admit",
+            {"count": admits, "telemetry": telemetry_mode},
+            ops_per_sec=admit_rate,
+        )
+    )
+    write_bench_json(args.json, json_rows)
+    if not args.smoke:
         speedup = metrics["monolithic"]["churn"] / metrics["sharded"]["churn"]
         if speedup < MIN_CHURN_SPEEDUP:
             raise SystemExit(f"churn speedup {speedup:.1f}x below {MIN_CHURN_SPEEDUP}x")

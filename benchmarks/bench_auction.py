@@ -25,9 +25,9 @@ import random
 import time
 
 try:
-    from benchmarks.conftest import report
+    from benchmarks.conftest import bench_result, report, write_bench_json
 except ImportError:  # executed as a script from the benchmarks/ directory
-    from conftest import report
+    from conftest import bench_result, report, write_bench_json
 
 from repro.admission import Bid, WindowAuction, uniform_price_clearing
 from repro.analysis import render_comparison
@@ -132,6 +132,9 @@ def main() -> None:
     parser.add_argument(
         "--full", action="store_true", help="include the 3x10^5-bid tier"
     )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write machine-readable results to PATH"
+    )
     args = parser.parse_args()
     if args.smoke:
         table, clear_rates = run_benchmark(SMOKE_SIZES)
@@ -141,6 +144,17 @@ def main() -> None:
         table, clear_rates = run_benchmark(FULL_SIZES if args.full else DEFAULT_SIZES)
         report("bench_auction", table)
         floor = MIN_CLEAR_RATE if 100_000 in clear_rates else MIN_CLEAR_RATE_SMOKE
+    write_bench_json(
+        args.json,
+        [
+            bench_result(
+                "auction_clear",
+                {"bids": size, "supply_kbps": SUPPLY_KBPS, "reserve": RESERVE},
+                ops_per_sec=rate,
+            )
+            for size, rate in sorted(clear_rates.items())
+        ],
+    )
     worst = min(clear_rates.values())
     assert worst >= floor, f"clear rate {worst:,.0f} bids/s below the {floor:,.0f} bar"
     print(f"\nOK: worst clear rate {worst:,.0f} bids/s (bar {floor:,.0f})")

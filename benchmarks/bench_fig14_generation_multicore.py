@@ -1,8 +1,13 @@
 """Figure 14: source traffic-generation throughput vs cores (500 B payload)."""
 
+import argparse
+
 import pytest
 
-from benchmarks.conftest import report
+try:
+    from benchmarks.conftest import bench_result, measure_op, report, write_bench_json
+except ImportError:  # executed as a script from the benchmarks/ directory
+    from conftest import bench_result, measure_op, report, write_bench_json
 
 from repro.analysis import line_plot, render_comparison
 from repro.perfmodel.measure import measure_source
@@ -78,3 +83,33 @@ def test_fig14_report(benchmark):
 def test_fig14_measured_substrate_report(benchmark):
     """Regenerate the report once (timed as a single benchmark round)."""
     benchmark.pedantic(_fig14_measured_substrate_report_impl, rounds=1, iterations=1)
+
+
+def main() -> None:
+    from repro.perfmodel.measure import build_fixture
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hops", type=int, nargs="*", default=[2, 4, 8],
+                        help="AS-level hop counts to sample")
+    parser.add_argument("--samples", type=int, default=300, help="packets to time")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write machine-readable results to PATH")
+    args = parser.parse_args()
+    results = []
+    payload = bytes(500)
+    for hops in args.hops:
+        fixture = build_fixture(hops=hops, payload=500)
+        stats = measure_op(
+            lambda: fixture.hb_source.build_packet(payload), samples=args.samples
+        )
+        results.append(
+            bench_result(
+                "fig14_hummingbird_generation", {"hops": hops, "payload": 500}, **stats
+            )
+        )
+        print(f"h={hops}: p50 {stats['p50'] * 1e9:.0f} ns/pkt")
+    write_bench_json(args.json, results)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,8 +1,13 @@
 """Figure 15: single-core source generation throughput vs payload size."""
 
+import argparse
+
 import pytest
 
-from benchmarks.conftest import report
+try:
+    from benchmarks.conftest import bench_result, measure_op, report, write_bench_json
+except ImportError:  # executed as a script from the benchmarks/ directory
+    from conftest import bench_result, measure_op, report, write_bench_json
 
 from repro.analysis import line_plot, render_comparison
 from repro.perfmodel.scaling import (
@@ -57,3 +62,35 @@ def test_bench_fig15_series_generation(benchmark):
 def test_fig15_report(benchmark):
     """Regenerate the report once (timed as a single benchmark round)."""
     benchmark.pedantic(_fig15_report_impl, rounds=1, iterations=1)
+
+
+def main() -> None:
+    from repro.perfmodel.measure import build_fixture
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--payloads", type=int, nargs="*", default=[100, 500, 1500],
+                        help="payload sizes to sample (bytes)")
+    parser.add_argument("--samples", type=int, default=300, help="packets to time")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write machine-readable results to PATH")
+    args = parser.parse_args()
+    results = []
+    for payload_size in args.payloads:
+        fixture = build_fixture(hops=4, payload=payload_size)
+        payload = bytes(payload_size)
+        stats = measure_op(
+            lambda: fixture.hb_source.build_packet(payload), samples=args.samples
+        )
+        results.append(
+            bench_result(
+                "fig15_hummingbird_generation",
+                {"hops": 4, "payload": payload_size},
+                **stats,
+            )
+        )
+        print(f"payload={payload_size}B: p50 {stats['p50'] * 1e9:.0f} ns/pkt")
+    write_bench_json(args.json, results)
+
+
+if __name__ == "__main__":
+    main()

@@ -7,9 +7,15 @@ paper plots (whiskers at the 5th/95th percentiles) and the fraction of
 totals under 3 s (the paper reports 83 %).
 """
 
+import argparse
+import time
+
 import pytest
 
-from benchmarks.conftest import deploy_chain, report
+try:
+    from benchmarks.conftest import bench_result, deploy_chain, report, write_bench_json
+except ImportError:  # executed as a script from the benchmarks/ directory
+    from conftest import bench_result, deploy_chain, report, write_bench_json
 
 from repro.analysis import BoxStats, fraction_below, render_comparison
 from repro.controlplane import purchase_path
@@ -87,3 +93,36 @@ def test_bench_single_purchase_latency_sampling(benchmark):
 def test_fig4_report(benchmark):
     """Regenerate the report once (timed as a single benchmark round)."""
     benchmark.pedantic(_fig4_report_impl, rounds=1, iterations=1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hops", type=int, nargs="*", default=[2, 4],
+                        help="path lengths to sample")
+    parser.add_argument("--runs", type=int, default=5, help="purchases per path length")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write machine-readable results to PATH")
+    args = parser.parse_args()
+    results = []
+    for hops in args.hops:
+        began = time.perf_counter()
+        latencies = run_series(hops, runs=args.runs)
+        elapsed = time.perf_counter() - began
+        totals = sorted(outcome.total for outcome in latencies)
+        row = bench_result(
+            "fig4_atomic_purchase",
+            {"hops": hops, "runs": args.runs},
+            ops_per_sec=args.runs / elapsed,  # wall-clock purchases/sec
+            p50=totals[(len(totals) - 1) // 2],  # simulated end-to-end seconds
+            p99=totals[min(len(totals) - 1, round(0.99 * (len(totals) - 1)))],
+        )
+        results.append(row)
+        print(
+            f"h={hops}: median total {row['p50']:.2f}s (simulated), "
+            f"{row['ops_per_sec']:.1f} purchases/s (wall)"
+        )
+    write_bench_json(args.json, results)
+
+
+if __name__ == "__main__":
+    main()

@@ -24,9 +24,9 @@ import random
 import time
 
 try:
-    from benchmarks.conftest import report
+    from benchmarks.conftest import bench_result, report, write_bench_json
 except ImportError:  # executed as a script from the benchmarks/ directory
-    from conftest import report
+    from conftest import bench_result, report, write_bench_json
 
 from repro.analysis import render_comparison
 from repro.contracts.asset import ASSET_TYPE
@@ -197,6 +197,7 @@ def _mutation_events(snapshots: list[dict], count: int, seed: int = 13) -> list[
 def run_benchmark(sizes, naive_queries: int = 20, indexed_queries: int = 2_000):
     rows = []
     speedups = {}
+    stats: dict[int, dict[str, float]] = {}
     for size in sizes:
         ledger = Ledger()
         snapshots = populate(ledger, size)
@@ -226,6 +227,12 @@ def run_benchmark(sizes, naive_queries: int = 20, indexed_queries: int = 2_000):
 
         speedup = indexed_rate / naive_rate
         speedups[size] = speedup
+        stats[size] = {
+            "build_events_per_sec": size / build_seconds,
+            "indexed_queries_per_sec": indexed_rate,
+            "naive_queries_per_sec": naive_rate,
+            "apply_events_per_sec": apply_rate,
+        }
         rows.append(
             [
                 f"{size:,}",
@@ -244,11 +251,11 @@ def run_benchmark(sizes, naive_queries: int = 20, indexed_queries: int = 2_000):
         "per query; naive = the v1 O(all objects) scan; apply = "
         "Sold/Delisted events folded in without a rescan.",
     )
-    return table, speedups
+    return table, speedups, stats
 
 
 def test_bench_indexer_report():
-    table, speedups = run_benchmark(DEFAULT_SIZES)
+    table, speedups, _ = run_benchmark(DEFAULT_SIZES)
     report("bench_indexer", table)
     assert speedups[100_000] >= MIN_SPEEDUP_AT_100K, speedups
 
@@ -263,15 +270,32 @@ def main() -> None:
     parser.add_argument(
         "--full", action="store_true", help="include the 10^6-listing tier"
     )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write machine-readable results to PATH"
+    )
     args = parser.parse_args()
     if args.smoke:
-        table, speedups = run_benchmark(SMOKE_SIZES, naive_queries=10, indexed_queries=500)
+        table, speedups, stats = run_benchmark(
+            SMOKE_SIZES, naive_queries=10, indexed_queries=500
+        )
         print(table)
         floor = MIN_SPEEDUP_SMOKE
     else:
-        table, speedups = run_benchmark(FULL_SIZES if args.full else DEFAULT_SIZES)
+        table, speedups, stats = run_benchmark(FULL_SIZES if args.full else DEFAULT_SIZES)
         report("bench_indexer", table)
         floor = MIN_SPEEDUP_AT_100K if 100_000 in speedups else MIN_SPEEDUP_SMOKE
+    write_bench_json(
+        args.json,
+        [
+            bench_result(
+                f"indexer_{metric.removesuffix('_per_sec')}",
+                {"listings": size},
+                ops_per_sec=rate,
+            )
+            for size, rates in sorted(stats.items())
+            for metric, rate in rates.items()
+        ],
+    )
     worst = min(speedups.values())
     assert worst >= floor, f"speedup {worst:.1f}x below the {floor:.0f}x bar"
     print(f"\nOK: worst speedup {worst:,.0f}x (bar {floor:.0f}x)")

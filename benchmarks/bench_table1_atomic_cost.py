@@ -5,9 +5,26 @@ atomic transaction buying (worst-case-split) ingress+egress assets and
 redeeming them for 1/2/4/8/16 hops on a fresh market.
 """
 
+import argparse
+
 import pytest
 
-from benchmarks.conftest import deploy_chain, report
+try:
+    from benchmarks.conftest import (
+        bench_result,
+        deploy_chain,
+        measure_op,
+        report,
+        write_bench_json,
+    )
+except ImportError:  # executed as a script from the benchmarks/ directory
+    from conftest import (
+        bench_result,
+        deploy_chain,
+        measure_op,
+        report,
+        write_bench_json,
+    )
 
 from repro.analysis import render_comparison
 from repro.controlplane import purchase_path
@@ -101,3 +118,36 @@ def test_bench_atomic_buy_and_redeem_4hops(benchmark):
 def test_table1_report(benchmark):
     """Regenerate the report once (timed as a single benchmark round)."""
     benchmark.pedantic(_table1_report_impl, rounds=1, iterations=1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hops", type=int, default=4, help="path length")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="purchases to time (each gets a fresh host + window)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write machine-readable results to PATH")
+    args = parser.parse_args()
+    deployment, path = deploy_chain(args.hops)
+    crossings = as_crossings(path)[: args.hops]
+    slot = [int(deployment.clock.now()) + 3600]
+
+    def once():
+        host = deployment.new_host(funding_sui=1000)
+        window = slot[0]
+        slot[0] += 1200
+        purchase_path(
+            deployment, host, crossings, start=window, expiry=window + 600,
+            bandwidth_kbps=4000,
+        )
+
+    stats = measure_op(once, samples=args.rounds, warmup=0)
+    results = [
+        bench_result("table1_atomic_buy_and_redeem", {"hops": args.hops}, **stats)
+    ]
+    print(f"h={args.hops}: p50 {stats['p50']:.3f}s wall per atomic purchase")
+    write_bench_json(args.json, results)
+
+
+if __name__ == "__main__":
+    main()

@@ -5,11 +5,15 @@ deliver) and market functions (create, register, list, the four buy
 variants).  Negative totals mean the storage rebate exceeded the cost.
 """
 
+import argparse
 import random
 
 import pytest
 
-from benchmarks.conftest import report
+try:
+    from benchmarks.conftest import bench_result, measure_op, report, write_bench_json
+except ImportError:  # executed as a script from the benchmarks/ directory
+    from conftest import bench_result, measure_op, report, write_bench_json
 
 from repro.analysis import render_comparison
 from repro.contracts.asset import AssetContract
@@ -181,3 +185,24 @@ def test_bench_issue_call(benchmark):
 def test_table2_report(benchmark):
     """Regenerate the report once (timed as a single benchmark round)."""
     benchmark.pedantic(_table2_report_impl, rounds=1, iterations=1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--samples", type=int, default=50, help="issue calls to time")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write machine-readable results to PATH")
+    args = parser.parse_args()
+    world = World()
+    stats = measure_op(lambda: world.issue(), samples=args.samples, warmup=2)
+    results = [
+        bench_result(
+            "table2_issue_call", {"bandwidth_kbps": 1_000_000}, **stats
+        )
+    ]
+    print(f"issue: {stats['ops_per_sec']:.0f} calls/s, p50 {stats['p50'] * 1e6:.0f} µs")
+    write_bench_json(args.json, results)
+
+
+if __name__ == "__main__":
+    main()

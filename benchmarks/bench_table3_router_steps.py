@@ -6,9 +6,14 @@ for SCION vs Hummingbird.  The Python/DPDK ratio is the calibration factor
 used to justify feeding the paper's timings into the Fig. 5 model.
 """
 
+import argparse
+
 import pytest
 
-from benchmarks.conftest import report
+try:
+    from benchmarks.conftest import bench_result, measure_op, report, write_bench_json
+except ImportError:  # executed as a script from the benchmarks/ directory
+    from conftest import bench_result, measure_op, report, write_bench_json
 
 from repro.analysis import render_comparison
 from repro.perfmodel import papertimings as paper
@@ -74,3 +79,32 @@ def test_bench_scion_router_process(benchmark):
 def test_table3_report(benchmark):
     """Regenerate the report once (timed as a single benchmark round)."""
     benchmark.pedantic(_table3_report_impl, rounds=1, iterations=1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--payload", type=int, default=500, help="payload bytes")
+    parser.add_argument("--samples", type=int, default=300, help="packets to time")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write machine-readable results to PATH")
+    args = parser.parse_args()
+    fixture = build_fixture(payload=args.payload)
+    results = []
+    for name, source, router in (
+        ("table3_hummingbird_router_process", fixture.hb_source, fixture.hb_router),
+        ("table3_scion_router_process", fixture.scion_source, fixture.scion_router),
+    ):
+        payload = bytes(args.payload)
+        packets = iter(
+            [source.build_packet(payload) for _ in range(args.samples + 20)]
+        )
+        stats = measure_op(
+            lambda: router.process(next(packets), 0), samples=args.samples, warmup=10
+        )
+        results.append(bench_result(name, {"payload": args.payload}, **stats))
+        print(f"{name}: p50 {stats['p50'] * 1e9:.0f} ns/pkt")
+    write_bench_json(args.json, results)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,8 +1,13 @@
 """Table 4: fine-grained source packet-generation timings (4-hop path)."""
 
+import argparse
+
 import pytest
 
-from benchmarks.conftest import report
+try:
+    from benchmarks.conftest import bench_result, measure_op, report, write_bench_json
+except ImportError:  # executed as a script from the benchmarks/ directory
+    from conftest import bench_result, measure_op, report, write_bench_json
 
 from repro.analysis import render_comparison
 from repro.perfmodel import papertimings as paper
@@ -71,3 +76,29 @@ def test_bench_scion_generation(benchmark):
 def test_table4_report(benchmark):
     """Regenerate the report once (timed as a single benchmark round)."""
     benchmark.pedantic(_table4_report_impl, rounds=1, iterations=1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--payload", type=int, default=500, help="payload bytes")
+    parser.add_argument("--samples", type=int, default=300, help="packets to time")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write machine-readable results to PATH")
+    args = parser.parse_args()
+    fixture = build_fixture(hops=4, payload=args.payload)
+    payload = bytes(args.payload)
+    results = []
+    for name, source in (
+        ("table4_hummingbird_generation", fixture.hb_source),
+        ("table4_scion_generation", fixture.scion_source),
+    ):
+        stats = measure_op(lambda: source.build_packet(payload), samples=args.samples)
+        results.append(
+            bench_result(name, {"hops": 4, "payload": args.payload}, **stats)
+        )
+        print(f"{name}: p50 {stats['p50'] * 1e9:.0f} ns/pkt")
+    write_bench_json(args.json, results)
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,8 @@ utilization into the scarcity-adjusted listing price.
 
 from __future__ import annotations
 
+import time
+
 from repro.admission.auction import WindowAuction
 from repro.admission.calendar import AdmissionRejected, CapacityCalendar, Commitment
 from repro.admission.policy import (
@@ -28,6 +30,8 @@ from repro.admission.policy import (
 )
 from repro.admission.pricing import FlatPricer, Pricer
 from repro.admission.sharded import ShardedCalendar
+from repro.telemetry import get_registry
+from repro.telemetry.tracing import current_trace
 
 ISSUED = "issued"
 ACTIVE = "active"
@@ -100,6 +104,43 @@ class AdmissionController:
             self._auction_interfaces = set()
         self._auctions: dict[tuple[int, bool, float, float], WindowAuction] = {}
         self.rejections = 0
+        registry = get_registry()
+        self._telemetry = registry.enabled
+        self._m_decisions = registry.counter(
+            "admission_decisions_total",
+            "Admission decisions by layer, interface, direction, and outcome.",
+            ("layer", "interface", "direction", "outcome"),
+        )
+        # Children are cached per interface in 8-slot lists indexed by
+        # (layer, direction, outcome), so the per-admit path is one
+        # int-keyed dict get + a list index + a bare attribute add — it
+        # never re-derives label strings, re-enters Family.labels(), or
+        # even hashes a tuple; the budget is <5 % over the uninstrumented
+        # path.
+        self._decision_children: dict[int, list] = {}
+        admit_seconds = registry.histogram(
+            "admission_admit_seconds",
+            "Wall-clock latency of one policy.admit call (commit included), "
+            "sampled 1 in 16 admits.",
+            ("layer",),
+        )
+        self._m_admit_seconds = {
+            ISSUED: admit_seconds.labels(ISSUED),
+            ACTIVE: admit_seconds.labels(ACTIVE),
+        }
+        # Latency is *sampled*: two perf_counter() calls plus a histogram
+        # observe per admit would alone eat most of the <5 % budget, and
+        # the latency distribution doesn't need every data point the way
+        # the decision counters do.  Starting at -1 samples the very first
+        # admit, so short runs still populate the histogram.
+        self._admit_tick = -1
+        self._m_expired = registry.counter(
+            "admission_expired_total", "Commitments released by expire()."
+        ).labels()
+        self._m_shards_dropped = registry.counter(
+            "admission_shards_dropped_total",
+            "Whole calendar shards dropped in O(1) by sharded expiry.",
+        ).labels()
 
     # -- calendars ----------------------------------------------------------------
 
@@ -193,11 +234,47 @@ class AdmissionController:
         tag: str,
     ) -> AdmissionDecision:
         calendar = self.calendar(interface, is_ingress, layer)
-        decision = self.policy.admit(
-            calendar, AdmissionRequest(int(bandwidth_kbps), start, end, buyer=tag)
-        )
+        request = AdmissionRequest(int(bandwidth_kbps), start, end, buyer=tag)
+        if self._telemetry:
+            self._admit_tick = tick = self._admit_tick + 1
+            if tick & 15:  # unsampled admit: count the decision only
+                decision = self.policy.admit(calendar, request)
+            else:
+                began = time.perf_counter()
+                decision = self.policy.admit(calendar, request)
+                self._m_admit_seconds[layer].observe(time.perf_counter() - began)
+            slots = self._decision_children.get(interface)
+            if slots is None:
+                slots = self._decision_children[interface] = [None] * 8
+            index = (
+                (0 if layer is ISSUED else 4)
+                + (2 if is_ingress else 0)
+                + (1 if decision.admitted else 0)
+            )
+            child = slots[index]
+            if child is None:
+                child = slots[index] = self._m_decisions.labels(
+                    layer,
+                    interface,
+                    "ingress" if is_ingress else "egress",
+                    "admit" if decision.admitted else "reject",
+                )
+            child.value += 1.0
+        else:
+            decision = self.policy.admit(calendar, request)
         if not decision.admitted:
             self.rejections += 1
+        trace = current_trace()
+        if trace is not None:
+            trace.event(
+                "admission.decision",
+                layer=layer,
+                interface=interface,
+                ingress=is_ingress,
+                bandwidth_kbps=int(bandwidth_kbps),
+                admitted=decision.admitted,
+                reason=decision.reason,
+            )
         return decision
 
     def release(
@@ -216,7 +293,51 @@ class AdmissionController:
         Returns:
             The number of commitments released.
         """
-        return sum(calendar.expire(now) for calendar in self._calendars.values())
+        released = 0
+        shards_dropped = 0
+        for calendar in self._calendars.values():
+            before = getattr(calendar, "shards_dropped", 0)
+            released += calendar.expire(now)
+            shards_dropped += getattr(calendar, "shards_dropped", 0) - before
+        if self._telemetry:
+            if released:
+                self._m_expired.inc(released)
+            if shards_dropped:
+                self._m_shards_dropped.inc(shards_dropped)
+        return released
+
+    def record_capacity_gauges(
+        self, start: float, end: float, owner: str = ""
+    ) -> None:
+        """Refresh per-interface utilization/headroom gauges over a window.
+
+        Calendar scans are too costly for the per-admit hot path, so the
+        gauges are point-in-time: call this at scenario checkpoints (or
+        before exporting) to publish the current picture.  ``owner`` keeps
+        several controllers apart in one registry (e.g. the per-AS label).
+        A no-op when telemetry is disabled.
+        """
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        utilization_gauge = registry.gauge(
+            "admission_utilization_ratio",
+            "Peak committed fraction of capacity over the sampled window.",
+            ("owner", "layer", "interface", "direction"),
+        )
+        headroom_gauge = registry.gauge(
+            "admission_headroom_kbps",
+            "Remaining bandwidth over the sampled window, in kbps.",
+            ("owner", "layer", "interface", "direction"),
+        )
+        for (layer, interface, is_ingress), calendar in self._calendars.items():
+            direction = "ingress" if is_ingress else "egress"
+            utilization_gauge.labels(owner, layer, interface, direction).set(
+                calendar.utilization(start, end)
+            )
+            headroom_gauge.labels(owner, layer, interface, direction).set(
+                calendar.headroom(start, end)
+            )
 
     # -- auctions -----------------------------------------------------------------
 

@@ -86,6 +86,9 @@ class ShardedCalendar:
         self._by_end_shard: dict[int, set[int]] = {}  # end shard key -> ids
         self._projections: dict[int, list[_Piece]] = {}
         self._ids = itertools.count()
+        #: Lifetime count of whole shards discarded by :meth:`expire`
+        #: (telemetry reads this as a monotonic counter).
+        self.shards_dropped = 0
 
     # Same validation rules (and error messages) as the monolithic calendar.
     _check_window = staticmethod(CapacityCalendar._check_window)
@@ -336,6 +339,7 @@ class ShardedCalendar:
         width = self.shard_seconds
         for key in [k for k in self._shards if (k + 1) * width <= now]:
             del self._shards[key]
+            self.shards_dropped += 1
         released = 0
         for key in [k for k in self._by_end_shard if (k + 1) * width <= now]:
             # End shard fully behind now => every piece lived in a dropped

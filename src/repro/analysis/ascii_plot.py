@@ -2,6 +2,30 @@
 
 from __future__ import annotations
 
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float], width: int | None = None) -> str:
+    """Render a sequence as a one-line block-character sparkline.
+
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▅█'
+    """
+    if not values:
+        return ""
+    if width is not None and width > 0 and len(values) > width:
+        # Downsample by bucket-max so spikes survive compression.
+        step = len(values) / width
+        values = [
+            max(values[int(i * step) : max(int((i + 1) * step), int(i * step) + 1)])
+            for i in range(width)
+        ]
+    low, high = min(values), max(values)
+    if high == low:
+        return _SPARK_LEVELS[0] * len(values)
+    scale = (len(_SPARK_LEVELS) - 1) / (high - low)
+    return "".join(_SPARK_LEVELS[int((v - low) * scale)] for v in values)
+
 
 def line_plot(
     series: dict[str, list[tuple[float, float]]],

@@ -38,6 +38,8 @@ from repro.ledger.accounts import Account
 from repro.ledger.executor import LedgerExecutor, SubmittedTransaction
 from repro.ledger.transactions import Command, Result, Transaction
 from repro.scion.topology import AutonomousSystem
+from repro.telemetry import get_registry
+from repro.telemetry.tracing import current_trace
 from repro.wire import bwcls
 
 DEFAULT_GRANULARITY = 60  # seconds: minimum reservation duration an AS supports
@@ -125,6 +127,28 @@ class AsService:
         self.open_auctions: dict[str, OpenAuctionRecord] = {}
         self.settlements: list[SettlementRecord] = []
         self._bid_checkpoint = 0
+        registry = get_registry()
+        self._telemetry = registry.enabled
+        self._m_deliveries = registry.counter(
+            "as_deliveries_total",
+            "Redeem requests handled, by outcome.",
+            ("isd_as", "outcome"),
+        )
+        self._m_settlements = registry.counter(
+            "as_auction_settlements_total",
+            "Auction settlements, by whether any bandwidth was awarded.",
+            ("isd_as", "outcome"),
+        )
+        self._m_proceeds = registry.counter(
+            "as_auction_proceeds_mist_total",
+            "MIST proceeds across settled auctions.",
+            ("isd_as",),
+        )
+        self._m_awarded = registry.counter(
+            "as_auction_awarded_kbps_total",
+            "Bandwidth awarded to auction winners, in kbps.",
+            ("isd_as",),
+        )
 
     @property
     def isd_as(self):
@@ -541,6 +565,23 @@ class AsService:
             )
             self.settlements.append(outcome)
             settled.append(outcome)
+            if self._telemetry:
+                key = str(self.isd_as)
+                self._m_settlements.labels(
+                    key, "cleared" if outcome.awarded_kbps > 0 else "unsold"
+                ).inc()
+                self._m_proceeds.labels(key).inc(outcome.proceeds_mist)
+                self._m_awarded.labels(key).inc(outcome.awarded_kbps)
+            trace = current_trace()
+            if trace is not None:
+                trace.event(
+                    "auction.settle",
+                    auction=auction_id,
+                    clearing_price_micromist=outcome.clearing_price_micromist,
+                    awarded_kbps=outcome.awarded_kbps,
+                    supply_kbps=supply,
+                    winners=len(outcome.winners),
+                )
         return settled
 
     # -- redemption handling -------------------------------------------------------
@@ -573,6 +614,10 @@ class AsService:
                 # AdmissionRejected and CapacityExhausted are RuntimeErrors
                 # too; _deliver rolled its claims back before raising.
                 self.undeliverable.append((request_id, str(reason)))
+                if self._telemetry:
+                    self._m_deliveries.labels(
+                        str(self.isd_as), "undeliverable"
+                    ).inc()
         return records
 
     def _deliver(self, request) -> DeliveryRecord:
@@ -655,6 +700,19 @@ class AsService:
             self._rollback_admissions(admissions)
             self._allocator(ingress_if).release(res_id, start, expiry)
             raise RuntimeError(f"delivery failed: {submitted.effects.error}")
+        if self._telemetry:
+            self._m_deliveries.labels(str(self.isd_as), "delivered").inc()
+        trace = current_trace()
+        if trace is not None:
+            trace.event(
+                "reservation.delivered",
+                isd_as=str(self.isd_as),
+                request=request.object_id,
+                res_id=res_id,
+                ingress=ingress_if,
+                egress=egress_if,
+                bandwidth_kbps=bandwidth_kbps,
+            )
         return DeliveryRecord(
             request_id=request.object_id,
             delivery_id=submitted.effects.returns[0]["delivery"],

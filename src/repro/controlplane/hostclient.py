@@ -44,6 +44,8 @@ from repro.marketdata import (
 )
 from repro.scion.addresses import IsdAs
 from repro.scion.paths import AsCrossing
+from repro.telemetry import get_registry
+from repro.telemetry.tracing import current_trace
 
 __all__ = [
     "AcquireOutcome",
@@ -201,6 +203,25 @@ class HostClient:
         self._auction_cursor: dict[str, int] = {}
         self._open_auctions: dict[str, dict[str, dict]] = {}
         self._auction_results: dict[str, dict[str, dict]] = {}
+        registry = get_registry()
+        self._telemetry = registry.enabled
+        self._m_acquire = registry.counter(
+            "host_acquire_total",
+            "acquire() outcomes: sealed bid placed vs posted fallback buy.",
+            ("mode",),
+        )
+        self._m_settle_results = registry.counter(
+            "host_bid_settlements_total",
+            "Settled auctions this host had bids in, by outcome.",
+            ("outcome",),
+        )
+        self._m_refunds = registry.counter(
+            "host_escrow_refunds_mist_total",
+            "Escrow MIST refunded to this host at settle time.",
+        ).labels()
+        # await_settle() is an idempotent read; refunds/outcomes are
+        # counted once per auction.
+        self._counted_settles: set[str] = set()
 
     # -- funding ---------------------------------------------------------------
 
@@ -565,7 +586,7 @@ class HostClient:
                 continue
             refund += loser["refund_mist"]
             reasons.append(loser["reason"])
-        return BidSettlement(
+        settlement = BidSettlement(
             auction=auction,
             won=bool(assets),
             bandwidth_kbps=won_bw,
@@ -575,6 +596,22 @@ class HostClient:
             assets=tuple(assets),
             reasons=tuple(reasons),
         )
+        if self._telemetry and auction not in self._counted_settles:
+            self._counted_settles.add(auction)
+            self._m_settle_results.labels("won" if settlement.won else "lost").inc()
+            if refund:
+                self._m_refunds.inc(refund)
+        trace = current_trace()
+        if trace is not None:
+            trace.event(
+                "bid.settled",
+                auction=auction,
+                won=settlement.won,
+                bandwidth_kbps=won_bw,
+                paid_mist=paid,
+                refund_mist=refund,
+            )
+        return settlement
 
     def acquire(
         self,
@@ -611,6 +648,16 @@ class HostClient:
             submitted = self.place_bid(
                 marketplace, auction["auction"], bandwidth_kbps, max_price_mist
             )
+            if self._telemetry:
+                self._m_acquire.labels("bid").inc()
+            trace = current_trace()
+            if trace is not None:
+                trace.event(
+                    "bid.placed",
+                    auction=auction["auction"],
+                    bandwidth_kbps=bandwidth_kbps,
+                    max_price_mist=max_price_mist,
+                )
             return AcquireOutcome(
                 mode="bid", submitted=submitted, reference=auction["auction"]
             )
@@ -657,6 +704,16 @@ class HostClient:
         price = 0
         if submitted.effects.ok:
             price = submitted.effects.returns[0]["price_mist"]
+        if self._telemetry:
+            self._m_acquire.labels("bought").inc()
+        trace = current_trace()
+        if trace is not None:
+            trace.event(
+                "listing.bought",
+                listing=found.listing.listing_id,
+                price_mist=price,
+                bandwidth_kbps=bandwidth_kbps,
+            )
         return AcquireOutcome(
             mode="bought",
             submitted=submitted,
@@ -682,7 +739,7 @@ class HostClient:
         """
         ephemeral = KeyPair.generate(self.rng)
         self._ephemeral_keys.append(ephemeral)
-        return self.executor.submit(
+        submitted = self.executor.submit(
             Transaction(
                 sender=self.account.address,
                 commands=[
@@ -698,6 +755,20 @@ class HostClient:
                 ],
             )
         )
+        trace = current_trace()
+        if trace is not None:
+            trace.event(
+                "redeem.requested",
+                ingress_asset=ingress_asset,
+                egress_asset=egress_asset,
+                request=(
+                    submitted.effects.returns[0]["request"]
+                    if submitted.effects.ok
+                    else None
+                ),
+                status=submitted.effects.status,
+            )
+        return submitted
 
     # -- atomic purchase ------------------------------------------------------------
 

@@ -42,7 +42,7 @@ class TokenBucketArray:
     <PolicingVerdict.FWD_FLYOVER: 'fwd_flyover'>
     """
 
-    __slots__ = ("burst_time_ns", "_timestamps")
+    __slots__ = ("burst_time_ns", "_timestamps", "_usage_bytes")
 
     def __init__(self, capacity: int, burst_time: float = DEFAULT_BURST_TIME) -> None:
         if capacity <= 0:
@@ -51,6 +51,11 @@ class TokenBucketArray:
             raise ValueError("BurstTime must be positive")
         self.burst_time_ns = int(burst_time * NS)
         self._timestamps = np.zeros(capacity, dtype=np.int64)
+        # Per-ResID bytes forwarded with priority: the usage feed the
+        # future reclamation loop (and telemetry exports) consume.  One
+        # extra store per in-profile packet; out-of-profile traffic is
+        # best-effort and not attributed to the reservation.
+        self._usage_bytes = np.zeros(capacity, dtype=np.int64)
 
     @property
     def capacity(self) -> int:
@@ -73,12 +78,25 @@ class TokenBucketArray:
         timestamp = max(int(self._timestamps[res_id]), now_ns) + transmit_ns
         if timestamp <= now_ns + self.burst_time_ns:
             self._timestamps[res_id] = timestamp
+            self._usage_bytes[res_id] += pkt_len
             return PolicingVerdict.FWD_FLYOVER
         return PolicingVerdict.FWD_BEST_EFFORT
+
+    def usage_bytes(self, res_id: int) -> int:
+        """Bytes forwarded with priority on one reservation so far."""
+        if not 0 <= res_id < len(self._usage_bytes):
+            return 0
+        return int(self._usage_bytes[res_id])
+
+    def usage_snapshot(self) -> dict[int, int]:
+        """Every ResID with non-zero priority traffic -> bytes forwarded."""
+        active = np.flatnonzero(self._usage_bytes)
+        return {int(res_id): int(self._usage_bytes[res_id]) for res_id in active}
 
     def reset(self, res_id: int) -> None:
         """Clear one bucket (ResID reuse after a reservation expires)."""
         self._timestamps[res_id] = 0
+        self._usage_bytes[res_id] = 0
 
 
 class PerInterfacePolicer:
@@ -114,6 +132,45 @@ class PerInterfacePolicer:
     @property
     def memory_bytes(self) -> int:
         return sum(array.memory_bytes for array in self._arrays.values())
+
+    def usage_bytes(self, ingress_ifid: int, res_id: int) -> int:
+        """Priority bytes one reservation moved through one ingress."""
+        array = self._arrays.get(ingress_ifid)
+        return 0 if array is None else array.usage_bytes(res_id)
+
+    def usage_snapshot(self) -> dict[int, dict[int, int]]:
+        """Per-ingress ``{res_id: priority bytes}`` for active ResIDs."""
+        snapshots = {
+            ingress: array.usage_snapshot()
+            for ingress, array in sorted(self._arrays.items())
+        }
+        return {ingress: used for ingress, used in snapshots.items() if used}
+
+    def record_gauges(self, isd_as: str = "") -> None:
+        """Publish array residency + per-flow byte gauges to the registry.
+
+        On-demand (end of a scenario, or periodic sampling) — never on the
+        per-packet path.  A no-op when telemetry is disabled.
+        """
+        from repro.telemetry import get_registry
+
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        residency = registry.gauge(
+            "policer_array_bytes",
+            "Policing-array residency (the cache-size metric of §4.4).",
+            ("isd_as", "ingress"),
+        )
+        flow_bytes = registry.gauge(
+            "policer_flow_priority_bytes",
+            "Bytes forwarded with priority per reservation.",
+            ("isd_as", "ingress", "res_id"),
+        )
+        for ingress, array in sorted(self._arrays.items()):
+            residency.labels(isd_as, ingress).set(array.memory_bytes)
+            for res_id, used in array.usage_snapshot().items():
+                flow_bytes.labels(isd_as, ingress, res_id).set(used)
 
 
 def max_packet_size_for(bw_kbps: int, burst_time: float = DEFAULT_BURST_TIME) -> int:

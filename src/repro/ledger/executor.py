@@ -19,6 +19,8 @@ from repro.clock import Clock, SimClock
 from repro.ledger.chain import Ledger
 from repro.ledger.committee import Committee
 from repro.ledger.transactions import Transaction, TransactionEffects
+from repro.telemetry import get_registry
+from repro.telemetry.tracing import current_trace
 
 
 @dataclass
@@ -42,6 +44,26 @@ class LedgerExecutor:
         self.ledger = ledger
         self.committee = committee if committee is not None else Committee()
         self.clock = clock if clock is not None else SimClock()
+        registry = get_registry()
+        self._telemetry = registry.enabled
+        self._m_tx_latency = registry.histogram(
+            "ledger_tx_latency_seconds",
+            "Modeled submit latency by path and execution status.",
+            ("path", "status"),
+        )
+        self._m_calls = registry.counter(
+            "ledger_contract_calls_total",
+            "Commands executed, by contract entry point and status.",
+            ("contract", "function", "status"),
+        )
+        self._m_gas_computation = registry.counter(
+            "ledger_gas_computation_units_total",
+            "Gas computation units charged across all transactions.",
+        ).labels()
+        self._m_gas_storage = registry.counter(
+            "ledger_gas_storage_bytes_total",
+            "Gas storage bytes charged across all transactions.",
+        ).labels()
 
     def submit(self, transaction: Transaction) -> SubmittedTransaction:
         """Execute a transaction and report its observed latency.
@@ -59,4 +81,28 @@ class LedgerExecutor:
             fast = True
         if isinstance(self.clock, SimClock):
             self.clock.advance(latency)
+        if self._telemetry:
+            path = "fast" if fast else "consensus"
+            self._m_tx_latency.labels(path, effects.status).observe(latency)
+            for command in transaction.commands:
+                self._m_calls.labels(
+                    command.contract, command.function, effects.status
+                ).inc()
+            gas = effects.gas
+            if gas is not None:
+                self._m_gas_computation.inc(gas.computation_units)
+                self._m_gas_storage.inc(gas.storage_bytes)
+        trace = current_trace()
+        if trace is not None:
+            trace.event(
+                "ledger.submit",
+                tx_digest=effects.tx_digest,
+                status=effects.status,
+                path="fast" if fast else "consensus",
+                latency=latency,
+                commands=[
+                    f"{command.contract}.{command.function}"
+                    for command in transaction.commands
+                ],
+            )
         return SubmittedTransaction(effects=effects, latency=latency, used_fast_path=fast)

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import bisect
 import dataclasses
+import time
 
 import numpy as np
 
@@ -35,6 +36,7 @@ from repro.marketdata.query import (
     IndexedListing,
     ListingQuery,
 )
+from repro.telemetry import get_registry
 
 _ADD_EVENTS = ("Listed", "Relisted")
 
@@ -230,6 +232,27 @@ class MarketIndexer:
         self._keys: dict[tuple[int, int, int, bool], _KeyIndex] = {}
         self._by_listing: dict[str, IndexedListing] = {}
         self.events_applied = 0
+        registry = get_registry()
+        self._telemetry = registry.enabled
+        self._m_events = registry.counter(
+            "indexer_events_total",
+            "Ledger events scanned by sync(), split by whether they mutated "
+            "the index.",
+            ("result",),
+        )
+        self._m_query_seconds = registry.histogram(
+            "indexer_query_seconds",
+            "Latency of one index query (ledger sync excluded).",
+            ("op",),
+        )
+        self._g_live = registry.gauge(
+            "indexer_live_listings", "Live listings across all keys."
+        ).labels()
+        self._g_bucket = registry.gauge(
+            "indexer_bucket_listings",
+            "Live listings per (isd, asn, interface, direction) bucket.",
+            ("isd", "asn", "interface", "direction"),
+        )
 
     # -- event consumption -------------------------------------------------------
 
@@ -247,12 +270,23 @@ class MarketIndexer:
         """
         events = self.ledger.events
         applied = 0
+        scanned = 0
         while self._position < len(events):
             event = events[self._position]
             self._position += 1
+            scanned += 1
             if self._apply(event):
                 applied += 1
         self.events_applied += applied
+        if self._telemetry and scanned:
+            self._m_events.labels("applied").inc(applied)
+            self._m_events.labels("skipped").inc(scanned - applied)
+            if applied:
+                self._g_live.set(len(self._by_listing))
+                for (isd, asn, interface, is_ingress), bucket in self._keys.items():
+                    self._g_bucket.labels(
+                        isd, asn, interface, "ingress" if is_ingress else "egress"
+                    ).set(len(bucket.records))
         return applied
 
     def _apply(self, event) -> bool:
@@ -350,12 +384,24 @@ class MarketIndexer:
             )
         if sync:
             self.sync()
+        if not self._telemetry:
+            bucket = self._keys.get(query.key)
+            if bucket is None:
+                return None
+            return bucket.best(
+                query.start, query.expiry, query.bandwidth_kbps, query.exact_window
+            )
+        began = time.perf_counter()
         bucket = self._keys.get(query.key)
-        if bucket is None:
-            return None
-        return bucket.best(
-            query.start, query.expiry, query.bandwidth_kbps, query.exact_window
+        found = (
+            None
+            if bucket is None
+            else bucket.best(
+                query.start, query.expiry, query.bandwidth_kbps, query.exact_window
+            )
         )
+        self._m_query_seconds.labels("best").observe(time.perf_counter() - began)
+        return found
 
     def candidates(
         self, query: ListingQuery, limit: int, sync: bool = True
@@ -375,10 +421,26 @@ class MarketIndexer:
             )
         if sync:
             self.sync()
+        if not self._telemetry:
+            bucket = self._keys.get(query.key)
+            if bucket is None:
+                return []
+            return bucket.candidates(
+                query.start, query.expiry, query.bandwidth_kbps, limit
+            )
+        began = time.perf_counter()
         bucket = self._keys.get(query.key)
-        if bucket is None:
-            return []
-        return bucket.candidates(query.start, query.expiry, query.bandwidth_kbps, limit)
+        found = (
+            []
+            if bucket is None
+            else bucket.candidates(
+                query.start, query.expiry, query.bandwidth_kbps, limit
+            )
+        )
+        self._m_query_seconds.labels("candidates").observe(
+            time.perf_counter() - began
+        )
+        return found
 
     def granularities(self, isd_as, interface: int, is_ingress: bool) -> set[int]:
         """Distinct time granularities live on one interface direction."""

@@ -8,11 +8,17 @@ from repro.netsim.scenarios import (
     SIM_PRF,
     AuctionBuyerOutcome,
     AuctionExperimentResult,
+    BuyerOutcome,
     CongestionResult,
+    ContentionResult,
+    FlexBuyerOutcome,
+    FlexMarketResult,
     PathSimulation,
     auction_experiment,
     build_path_simulation,
     congestion_experiment,
+    contention_experiment,
+    flex_market_experiment,
     linear_path,
 )
 from repro.netsim.traffic import CbrSource, FloodSource, OnOffSource, ReplayAttacker
@@ -28,11 +34,17 @@ __all__ = [
     "SIM_PRF",
     "AuctionBuyerOutcome",
     "AuctionExperimentResult",
+    "BuyerOutcome",
     "CongestionResult",
+    "ContentionResult",
+    "FlexBuyerOutcome",
+    "FlexMarketResult",
     "PathSimulation",
     "auction_experiment",
     "build_path_simulation",
     "congestion_experiment",
+    "contention_experiment",
+    "flex_market_experiment",
     "linear_path",
     "CbrSource",
     "FloodSource",

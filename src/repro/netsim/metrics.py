@@ -1,8 +1,25 @@
-"""Per-flow measurement: goodput, latency percentiles, loss."""
+"""Per-flow measurement: goodput, latency percentiles, loss.
+
+``FlowMetrics`` keeps the exact per-packet latency list (netsim runs are
+small enough), but every observation is mirrored into a shared
+:class:`repro.telemetry.registry.Histogram` so flow latency exports the
+same way as every other instrument (bucket counts + sum + count).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.telemetry.registry import DEFAULT_BUCKETS, Histogram
+
+#: Bucket edges shared by every flow's latency histogram, in seconds.
+LATENCY_BOUNDS: np.ndarray = np.asarray(DEFAULT_BUCKETS, dtype=np.float64)
+
+
+def _latency_histogram() -> Histogram:
+    return Histogram(LATENCY_BOUNDS)
 
 
 @dataclass
@@ -15,7 +32,11 @@ class FlowMetrics:
     received_packets: int = 0
     received_bytes: int = 0
     latencies: list[float] = field(default_factory=list)
+    histogram: Histogram = field(
+        default_factory=_latency_histogram, repr=False, compare=False
+    )
     first_sent: float | None = None
+    first_received: float | None = None
     last_received: float | None = None
 
     def record_sent(self, size_bytes: int, now: float) -> None:
@@ -28,33 +49,61 @@ class FlowMetrics:
         self.received_packets += 1
         self.received_bytes += size_bytes
         self.latencies.append(now - sent_at)
+        self.histogram.observe(now - sent_at)
+        if self.first_received is None:
+            self.first_received = now
         self.last_received = now
 
     @property
     def loss_rate(self) -> float:
+        """Fraction of sent packets never delivered, clamped to [0, 1].
+
+        Duplicate deliveries (retransmit experiments) would otherwise push
+        this negative.
+        """
         if self.sent_packets == 0:
             return 0.0
-        return 1.0 - self.received_packets / self.sent_packets
+        return min(1.0, max(0.0, 1.0 - self.received_packets / self.sent_packets))
 
     def goodput_bps(self, duration: float | None = None) -> float:
-        """Received payload rate over the active window (or ``duration``)."""
+        """Received payload rate over the active window (or ``duration``).
+
+        Defined for every edge case: a flow that never sent or never
+        received, a receiver-only flow (no ``record_sent`` calls — the
+        window falls back to first..last reception), and a zero-length
+        window all report 0.0 instead of dividing by zero.
+        """
         if duration is None:
-            if self.first_sent is None or self.last_received is None:
+            start = self.first_sent if self.first_sent is not None else self.first_received
+            if start is None or self.last_received is None:
                 return 0.0
-            duration = self.last_received - self.first_sent
+            duration = self.last_received - start
         if duration <= 0:
             return 0.0
         return self.received_bytes * 8 / duration
 
     def latency_percentile(self, percentile: float) -> float:
-        """Interpolation-free percentile of observed one-way latencies."""
-        if not self.latencies:
-            return float("nan")
+        """Interpolation-free percentile of observed one-way latencies.
+
+        Out-of-range percentiles raise even on an empty flow; no samples
+        yields ``nan`` (a defined "no data" value, not an exception).
+        """
         if not 0 <= percentile <= 100:
             raise ValueError("percentile must be within [0, 100]")
+        if not self.latencies:
+            return float("nan")
         ordered = sorted(self.latencies)
         index = min(len(ordered) - 1, int(round(percentile / 100 * (len(ordered) - 1))))
         return ordered[index]
+
+    def latency_quantile(self, q: float) -> float:
+        """Bucketed estimate of the q-quantile (q in [0, 1]).
+
+        Same estimator every telemetry histogram uses — cheaper than the
+        exact :meth:`latency_percentile` and directly comparable to
+        exported metrics; ``nan`` when no samples arrived.
+        """
+        return self.histogram.quantile(q)
 
     def summary(self) -> dict:
         return {

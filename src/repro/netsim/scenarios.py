@@ -30,6 +30,8 @@ from repro.netsim.traffic import CbrSource, FloodSource
 from repro.scion.addresses import HostAddr, ScionAddr
 from repro.scion.paths import ForwardingPath, as_crossings
 from repro.scion.topology import Topology
+from repro.telemetry import ExperimentTelemetry
+from repro.telemetry.tracing import use_trace
 from repro.wire import bwcls
 
 # Simulations hash millions of packets; the keyed-BLAKE2 backend keeps the
@@ -330,6 +332,7 @@ def flex_market_experiment(
     seed: int = 1,
     prf_factory: PrfFactory = SIM_PRF,
     shard_seconds: float | None = None,
+    telemetry: ExperimentTelemetry | None = None,
 ) -> FlexMarketResult:
     """Price-reactive purchasing end to end: buy the valley, not the peak.
 
@@ -345,7 +348,43 @@ def flex_market_experiment(
     packet-level simulation runs its flow against a best-effort flood and
     records goodput/latency, proving the valley reservations are as real
     on the data plane as the peak ones.
+
+    With ``telemetry`` the market side (indexer, ledger executor, per-AS
+    admission) reports into the harness's registry and each probe's
+    purchase is traced end to end.
     """
+    if telemetry is not None:
+        with telemetry.activate():
+            return _flex_market_experiment_impl(
+                num_ases, probe_rate_bps, flood_rate_bps, link_rate_bps,
+                window_seconds, flex_values, market_bandwidth_kbps,
+                base_price_micromist, duration, payload_bytes, seed,
+                prf_factory, shard_seconds, telemetry,
+            )
+    return _flex_market_experiment_impl(
+        num_ases, probe_rate_bps, flood_rate_bps, link_rate_bps,
+        window_seconds, flex_values, market_bandwidth_kbps,
+        base_price_micromist, duration, payload_bytes, seed, prf_factory,
+        shard_seconds, None,
+    )
+
+
+def _flex_market_experiment_impl(
+    num_ases: int,
+    probe_rate_bps: float,
+    flood_rate_bps: float,
+    link_rate_bps: float,
+    window_seconds: int,
+    flex_values: tuple[int, ...],
+    market_bandwidth_kbps: int,
+    base_price_micromist: int,
+    duration: float,
+    payload_bytes: int,
+    seed: int,
+    prf_factory: PrfFactory,
+    shard_seconds: float | None,
+    telemetry: ExperimentTelemetry | None,
+) -> FlexMarketResult:
     from repro.admission import ScarcityPricer
     from repro.controlplane import deploy_market, purchase_path
     from repro.scion.beaconing import run_beaconing
@@ -418,15 +457,19 @@ def flex_market_experiment(
     for index, flex in enumerate(flex_values):
         buyer = f"probe-flex-{flex}"
         host = deployment.new_host(name=buyer)
-        outcome = purchase_path(
-            deployment,
-            host,
-            crossings,
-            start=peak[0],
-            expiry=peak[0] + window_seconds,
-            bandwidth_kbps=reserve_kbps,
-            flex_start=flex,
-        )
+        # Trace the whole purchase: plan -> atomic buy-and-redeem tx ->
+        # per-AS admission -> sealed delivery.
+        trace = telemetry.trace(buyer) if telemetry is not None else None
+        with use_trace(trace):
+            outcome = purchase_path(
+                deployment,
+                host,
+                crossings,
+                start=peak[0],
+                expiry=peak[0] + window_seconds,
+                bandwidth_kbps=reserve_kbps,
+                flex_start=flex,
+            )
         # Use the reservations on the data plane: the probe's protected
         # flow vs a best-effort flood over the bottleneck, simulated at
         # the window the planner actually bought.
@@ -494,7 +537,7 @@ def flex_market_experiment(
         window_seconds,
         curve_times,
     )
-    return FlexMarketResult(
+    result = FlexMarketResult(
         buyers=outcomes,
         peak_window=peak,
         base_price_micromist=base_price_micromist,
@@ -502,6 +545,31 @@ def flex_market_experiment(
         curve_times=curve_times,
         curve_prices=[float(price) for price in curve_prices],
     )
+    if telemetry is not None:
+        for crossing in crossings:
+            deployment.service(crossing.isd_as).admission.record_capacity_gauges(
+                deploy_time, deploy_time + 7200, owner=str(crossing.isd_as)
+            )
+        telemetry.annotate(
+            flex_market={
+                "peak_window": list(peak),
+                "base_price_micromist": base_price_micromist,
+                "peak_price_micromist": peak_price,
+                "buyers": [
+                    {
+                        "buyer": b.buyer,
+                        "flex_start": b.flex_start,
+                        "offset": b.offset,
+                        "paid_price_mist": b.paid_price_mist,
+                        "goodput_mbps": b.metrics.get("goodput_mbps"),
+                    }
+                    for b in outcomes
+                ],
+                "curve_times": curve_times,
+                "curve_prices": result.curve_prices,
+            }
+        )
+    return result
 
 
 @dataclass
@@ -604,6 +672,7 @@ def auction_experiment(
     prf_factory: PrfFactory = SIM_PRF,
     shard_seconds: float | None = None,
     max_share_fraction: float = 0.5,
+    telemetry: ExperimentTelemetry | None = None,
 ) -> AuctionExperimentResult:
     """Sealed-bid uniform-price auction vs posted scarcity prices, head-on.
 
@@ -633,7 +702,44 @@ def auction_experiment(
         ``auction_revenue_mist >= posted_revenue_mist`` whenever demand
         actually contends (the experiment's headline claim, asserted in
         ``tests/netsim/test_netsim.py``).
+
+    With ``telemetry`` both arms report into the harness's registry, and a
+    *ledger-backed* companion run traces one reservation under a single
+    correlation id through its entire lifecycle: auction-open transaction
+    -> sealed bid -> uniform-price settlement -> posted egress buy ->
+    redeem -> admission -> sealed delivery -> data-plane policer verdict.
     """
+    if telemetry is not None:
+        with telemetry.activate():
+            return _auction_experiment_impl(
+                topology, path, num_buyers, per_buyer_kbps, link_rate_bps,
+                reservable_fraction, duration, payload_bytes,
+                base_price_micromist, seed, prf_factory, shard_seconds,
+                max_share_fraction, telemetry,
+            )
+    return _auction_experiment_impl(
+        topology, path, num_buyers, per_buyer_kbps, link_rate_bps,
+        reservable_fraction, duration, payload_bytes, base_price_micromist,
+        seed, prf_factory, shard_seconds, max_share_fraction, None,
+    )
+
+
+def _auction_experiment_impl(
+    topology: Topology,
+    path: ForwardingPath,
+    num_buyers: int,
+    per_buyer_kbps: int,
+    link_rate_bps: float,
+    reservable_fraction: float,
+    duration: float,
+    payload_bytes: int,
+    base_price_micromist: int,
+    seed: int,
+    prf_factory: PrfFactory,
+    shard_seconds: float | None,
+    max_share_fraction: float,
+    telemetry: ExperimentTelemetry | None,
+) -> AuctionExperimentResult:
     from repro.admission import (
         ACTIVE,
         AdmissionController,
@@ -782,7 +888,7 @@ def auction_experiment(
         bottleneck.ingress, True, ACTIVE
     ).peak_commitment(start, window_end)
     link = simulation.links[0] if simulate and simulation.links else None
-    return AuctionExperimentResult(
+    result = AuctionExperimentResult(
         buyers=buyers,
         capacity_kbps=capacity_kbps,
         supply_kbps=supply,
@@ -794,6 +900,172 @@ def auction_experiment(
         auction_peak_kbps=int(auction_peak),
         bottleneck_utilization=link.utilization(duration) if link else 0.0,
     )
+    if telemetry is not None:
+        posted.record_capacity_gauges(start, window_end, owner="posted-arm")
+        auctioneer.record_capacity_gauges(start, window_end, owner="auction-arm")
+        if simulate:
+            simulation.nodes[bottleneck.isd_as].router.policer.record_gauges(
+                str(bottleneck.isd_as)
+            )
+        _traced_reservation_lifecycle(
+            telemetry, topology, crossings, bottleneck, path, prf_factory
+        )
+        telemetry.annotate(
+            auction={
+                "capacity_kbps": capacity_kbps,
+                "supply_kbps": supply,
+                "reserve_micromist": result.reserve_micromist,
+                "clearing_price_micromist": result.clearing_price_micromist,
+                "posted_revenue_mist": posted_revenue,
+                "auction_revenue_mist": auction_revenue,
+                "posted_efficiency": result.efficiency("posted"),
+                "auction_efficiency": result.efficiency("auction"),
+                "posted_jain": result.jain_index("posted"),
+                "auction_jain": result.jain_index("auction"),
+                "oversold": result.oversold,
+            }
+        )
+    return result
+
+
+def _traced_reservation_lifecycle(
+    telemetry: ExperimentTelemetry,
+    topology: Topology,
+    crossings,
+    bottleneck,
+    path: ForwardingPath,
+    prf_factory: PrfFactory,
+) -> None:
+    """One reservation, one correlation id, the whole Hummingbird story.
+
+    A compact ledger-backed companion to the in-memory auction arms: an AS
+    auctions a future bottleneck-ingress window on-chain, two hosts seal
+    bids, the auction settles at one uniform price, the winner buys the
+    posted egress piece, redeems the pair, the AS admits and delivers the
+    sealed reservation, and the winner's traffic crosses a simulated
+    bottleneck under flood — ending with the policer's per-ResID verdict.
+    Every step lands on a single :class:`TraceContext`, which is the
+    "follow one reservation end to end" acceptance check.
+    """
+    from repro.admission import ScarcityPricer
+    from repro.controlplane import deploy_market, purchase_path
+
+    t0 = 1_700_000_000
+    window = (t0 + 3600, t0 + 4200)  # granule-aligned scarce future window
+    bid_kbps = 2500
+    clock = SimClock(float(t0))
+    trace = telemetry.trace("traced-reservation")
+    with use_trace(trace):
+        deployment = deploy_market(
+            topology,
+            clock=clock,
+            asset_start=t0,
+            asset_duration=3600,
+            asset_bandwidth_kbps=10_000,
+            interface_capacity_kbps=20_000,
+            pricer=ScarcityPricer(),
+            prf_factory=prf_factory,
+            auction_interfaces={(bottleneck.ingress, True)},
+        )
+        # Posted listings for the window everywhere except the auctioned
+        # bottleneck ingress.
+        for crossing in crossings:
+            service = deployment.service(crossing.isd_as)
+            for interface, is_ingress in (
+                (crossing.ingress, True),
+                (crossing.egress, False),
+            ):
+                if crossing is bottleneck and is_ingress:
+                    continue
+                service.issue_and_list(
+                    deployment.marketplace, interface, is_ingress,
+                    10_000, *window, 50,
+                )
+        auctioneer = deployment.service(bottleneck.isd_as)
+        opened = auctioneer.open_auction(
+            deployment.marketplace, bottleneck.ingress, True,
+            bid_kbps, *window, 50,
+        )
+        if not opened.effects.ok:  # pragma: no cover - deploy is deterministic
+            raise RuntimeError(f"traced auction failed: {opened.effects.error}")
+        auction_id = next(iter(auctioneer.open_auctions))
+        # Two sealed bids for one slot: the winner pays the loser's price.
+        winner = deployment.new_host(name="traced-winner")
+        rival = deployment.new_host(name="traced-rival")
+        winner.acquire(
+            deployment.marketplace, bottleneck.isd_as, bottleneck.ingress,
+            True, *window, bid_kbps, max_price_mist=9_000,
+        )
+        rival.place_bid(deployment.marketplace, auction_id, bid_kbps, 300)
+        clock.set(float(window[0]))
+        auctioneer.settle_due_auctions()
+        settlement = winner.await_settle(deployment.marketplace, auction_id)
+        rival.await_settle(deployment.marketplace, auction_id)
+        if settlement is None or not settlement.won:  # pragma: no cover
+            raise RuntimeError("traced bidder should have won the auction")
+        egress_buy = winner.acquire(
+            deployment.marketplace, bottleneck.isd_as, bottleneck.egress,
+            False, *window, bid_kbps, max_price_mist=10_000_000,
+        )
+        winner.redeem_pair(
+            settlement.assets[0],
+            egress_buy.submitted.effects.returns[0]["asset"],
+        )
+        deliveries = auctioneer.poll_and_deliver()
+        bottleneck_reservations = winner.collect_reservations()
+        res_id = deliveries[0].res_id if deliveries else 0
+        # Posted purchases cover the rest of the path.
+        other = purchase_path(
+            deployment,
+            winner,
+            [crossing for crossing in crossings if crossing is not bottleneck],
+            start=window[0],
+            expiry=window[1],
+            bandwidth_kbps=bid_kbps,
+        )
+        reservations = bottleneck_reservations + other.reservations
+        # Data plane: the traced reservation crosses the bottleneck under
+        # a 2x flood; the policer's usage array is the final verdict.
+        simulation = build_path_simulation(
+            topology,
+            path,
+            start_time=float(window[0]) + 0.1,
+            prf_factory=prf_factory,
+        )
+        victim_metrics = simulation.sink.flow(1)
+        victim = CbrSource(
+            simulation.loop,
+            simulation.hummingbird_source(reservations),
+            simulation.entry,
+            victim_metrics,
+            rate_bps=1_500_000.0,
+            payload_bytes=1000,
+            flow_id=1,
+        )
+        flood = FloodSource(
+            simulation.loop,
+            simulation.best_effort_source(),
+            simulation.entry,
+            simulation.sink.flow(2),
+            rate_bps=20_000_000.0,
+            payload_bytes=1000,
+            flow_id=2,
+        )
+        victim.start(0.0)
+        flood.start(0.05)
+        simulation.loop.run_until(simulation.clock.now() + 0.5)
+        victim.stop()
+        flood.stop()
+        policer = simulation.nodes[bottleneck.isd_as].router.policer
+        policer.record_gauges(str(bottleneck.isd_as))
+        trace.event(
+            "policer.verdict",
+            isd_as=str(bottleneck.isd_as),
+            ingress=bottleneck.ingress,
+            res_id=res_id,
+            priority_bytes=policer.usage_bytes(bottleneck.ingress, res_id),
+            goodput_mbps=victim_metrics.summary()["goodput_mbps"],
+        )
 
 
 def contention_experiment(
@@ -811,6 +1083,7 @@ def contention_experiment(
     pricer=None,
     policy=None,
     shard_seconds: float | None = None,
+    telemetry: ExperimentTelemetry | None = None,
 ) -> ContentionResult:
     """Many buyers compete for one bottleneck interface's capacity.
 
@@ -822,7 +1095,44 @@ def contention_experiment(
     and fight over whatever the reserved traffic leaves behind.  Quoted
     prices rise with utilization when a scarcity pricer is installed
     (default), so the result doubles as a price-discovery trace.
+
+    With ``telemetry`` the run collects admission counters/histograms,
+    capacity gauges, and policer residency into the harness's registry
+    (``telemetry.write(...)`` dumps them for
+    ``tools/report_experiment.py``).
     """
+    if telemetry is not None:
+        with telemetry.activate():
+            return _contention_experiment_impl(
+                topology, path, num_buyers, per_buyer_kbps, link_rate_bps,
+                reservable_fraction, duration, payload_bytes,
+                base_price_micromist, seed, prf_factory, pricer, policy,
+                shard_seconds, telemetry,
+            )
+    return _contention_experiment_impl(
+        topology, path, num_buyers, per_buyer_kbps, link_rate_bps,
+        reservable_fraction, duration, payload_bytes, base_price_micromist,
+        seed, prf_factory, pricer, policy, shard_seconds, None,
+    )
+
+
+def _contention_experiment_impl(
+    topology: Topology,
+    path: ForwardingPath,
+    num_buyers: int,
+    per_buyer_kbps: int,
+    link_rate_bps: float,
+    reservable_fraction: float,
+    duration: float,
+    payload_bytes: int,
+    base_price_micromist: int,
+    seed: int,
+    prf_factory: PrfFactory,
+    pricer,
+    policy,
+    shard_seconds: float | None,
+    telemetry: ExperimentTelemetry | None,
+) -> ContentionResult:
     from repro.admission import AdmissionController, ScarcityPricer
 
     simulation = build_path_simulation(
@@ -852,9 +1162,12 @@ def contention_experiment(
         quote = controller.quote(
             base_price_micromist, bottleneck.ingress, True, start, window_end
         )
-        decision = controller.admit_reservation(
-            bottleneck.ingress, True, reserve_kbps, start, window_end, tag=buyer
-        )
+        # Trace buyer-0's lifecycle end to end (admission through policer).
+        trace = telemetry.trace(buyer) if telemetry and index == 0 else None
+        with use_trace(trace):
+            decision = controller.admit_reservation(
+                bottleneck.ingress, True, reserve_kbps, start, window_end, tag=buyer
+            )
         if decision.admitted:
             reservations = simulation.grant_full_path(
                 reserve_kbps, start, int(duration) + 60, res_id=index
@@ -895,8 +1208,32 @@ def contention_experiment(
         outcome.metrics = metrics.summary()
 
     link = simulation.links[0]
-    return ContentionResult(
+    result = ContentionResult(
         buyers=outcomes,
         capacity_kbps=capacity_kbps,
         bottleneck_utilization=link.utilization(duration),
     )
+    if telemetry is not None:
+        controller.record_capacity_gauges(start, window_end, owner="bottleneck-as")
+        router = simulation.nodes[bottleneck.isd_as].router
+        router.policer.record_gauges(str(bottleneck.isd_as))
+        if telemetry.traces and telemetry.traces[0].name == "buyer-0":
+            telemetry.traces[0].event(
+                "policer.verdict",
+                isd_as=str(bottleneck.isd_as),
+                ingress=bottleneck.ingress,
+                res_id=0,
+                priority_bytes=router.policer.usage_bytes(bottleneck.ingress, 0),
+            )
+        telemetry.annotate(
+            contention={
+                "capacity_kbps": capacity_kbps,
+                "admitted": len(result.admitted),
+                "rejected": len(result.rejected),
+                "bottleneck_utilization": result.bottleneck_utilization,
+                "revenue_proxy_micromist": sum(
+                    b.quoted_price_micromist for b in result.admitted
+                ),
+            }
+        )
+    return result

@@ -1,0 +1,50 @@
+"""Telemetry: metrics registry, lifecycle tracing, exporters.
+
+See ``docs/observability.md`` for the metric catalog and span naming
+conventions.  The whole subsystem is disabled by default: the active
+registry is the null recorder unless ``REPRO_TELEMETRY=1`` is set or an
+:class:`ExperimentTelemetry` harness is activated.
+"""
+
+from repro.telemetry.export import load_jsonl, snapshot, to_jsonl, to_prometheus
+from repro.telemetry.experiment import ExperimentTelemetry
+from repro.telemetry.registry import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    LabelCardinalityError,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.telemetry.tracing import (
+    TraceContext,
+    current_trace,
+    event,
+    span,
+    use_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabelCardinalityError",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+    "ExperimentTelemetry",
+    "TraceContext",
+    "current_trace",
+    "event",
+    "get_registry",
+    "load_jsonl",
+    "set_registry",
+    "snapshot",
+    "span",
+    "to_jsonl",
+    "to_prometheus",
+    "use_trace",
+]

@@ -1,0 +1,179 @@
+"""Correlation-ID tracing for a reservation's lifecycle.
+
+A :class:`TraceContext` carries one correlation id and accumulates
+:class:`Span` records (timed sections) and zero-duration events as the
+reservation moves through the system::
+
+    tx submit -> contract event -> admission decision -> auction clearing
+              -> redeem -> policer verdict
+
+Instrumented modules never take a trace argument — they call the
+module-level :func:`span` / :func:`event` helpers, which look up the
+trace installed in the current :mod:`contextvars` context.  When no trace
+is installed (the overwhelmingly common case) both helpers return shared
+no-op singletons, so the hot path pays a contextvar read and nothing else.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = [
+    "Span",
+    "TraceContext",
+    "current_trace",
+    "event",
+    "span",
+    "use_trace",
+]
+
+_trace_ids = itertools.count(1)
+
+
+@dataclass
+class Span:
+    """One timed (or instantaneous) step of a trace."""
+
+    trace_id: str
+    name: str
+    start: float
+    end: float | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float | None:
+        return None if self.end is None else self.end - self.start
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes to an open span (e.g. the decision outcome)."""
+        self.attrs.update(attrs)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _OpenSpan:
+    """Context manager closing one span; also usable as a plain handle."""
+
+    __slots__ = ("_span",)
+
+    def __init__(self, span_: Span) -> None:
+        self._span = span_
+
+    def set(self, **attrs: Any) -> None:
+        self._span.set(**attrs)
+
+    def __enter__(self) -> "_OpenSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._span.end = time.perf_counter()
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+
+
+class _NoopSpan:
+    """Shared do-nothing span handle for the trace-disabled fast path."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class TraceContext:
+    """A correlation id plus the ordered spans recorded under it."""
+
+    def __init__(self, name: str, trace_id: str | None = None) -> None:
+        self.name = name
+        self.trace_id = trace_id or f"trace-{next(_trace_ids):06d}"
+        self.spans: list[Span] = []
+
+    def span(self, name: str, **attrs: Any) -> _OpenSpan:
+        record = Span(
+            trace_id=self.trace_id,
+            name=name,
+            start=time.perf_counter(),
+            attrs=dict(attrs),
+        )
+        self.spans.append(record)
+        return _OpenSpan(record)
+
+    def event(self, name: str, **attrs: Any) -> Span:
+        """A zero-duration span (a point-in-time lifecycle marker)."""
+        now = time.perf_counter()
+        record = Span(
+            trace_id=self.trace_id, name=name, start=now, end=now, attrs=dict(attrs)
+        )
+        self.spans.append(record)
+        return record
+
+    def span_names(self) -> list[str]:
+        return [s.name for s in self.spans]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "spans": [s.to_dict() for s in self.spans],
+        }
+
+
+_current: contextvars.ContextVar[TraceContext | None] = contextvars.ContextVar(
+    "repro_trace", default=None
+)
+
+
+def current_trace() -> TraceContext | None:
+    return _current.get()
+
+
+class use_trace:
+    """Install ``trace`` as the ambient trace for a ``with`` block."""
+
+    __slots__ = ("_trace", "_token")
+
+    def __init__(self, trace: TraceContext | None) -> None:
+        self._trace = trace
+
+    def __enter__(self) -> TraceContext | None:
+        self._token = _current.set(self._trace)
+        return self._trace
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _current.reset(self._token)
+
+
+def span(name: str, **attrs: Any) -> _OpenSpan | _NoopSpan:
+    """Open a span on the ambient trace, or a shared no-op when absent."""
+    trace = _current.get()
+    if trace is None:
+        return NOOP_SPAN
+    return trace.span(name, **attrs)
+
+
+def event(name: str, **attrs: Any) -> Span | None:
+    """Record an instantaneous event on the ambient trace, if any."""
+    trace = _current.get()
+    if trace is None:
+        return None
+    return trace.event(name, **attrs)

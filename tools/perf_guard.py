@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""CI perf guard: the telemetry hooks must stay off the hot path.
+
+Runs ``benchmarks/bench_admission.py --smoke --json`` twice per round —
+once with ``REPRO_TELEMETRY`` unset (null registry) and once with
+``REPRO_TELEMETRY=1`` (live registry) — and compares the
+``admission_controller_admit`` throughput.  The two modes are interleaved
+within each round (so slow machine drift hits both sides equally) and
+best-of-N on each side absorbs scheduler noise.  Fails when the enabled
+run is more than ``--threshold`` slower than the disabled one, i.e. when
+instrumenting the admission hot path starts costing real throughput.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH = REPO_ROOT / "benchmarks" / "bench_admission.py"
+ROW_NAME = "admission_controller_admit"
+
+
+def _run_once(telemetry: bool, extra_args: list[str]) -> float:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_TELEMETRY", None)
+    if telemetry:
+        env["REPRO_TELEMETRY"] = "1"
+    with tempfile.TemporaryDirectory() as tmp:
+        out = pathlib.Path(tmp) / "bench.json"
+        subprocess.run(
+            [sys.executable, str(BENCH), "--smoke", "--json", str(out), *extra_args],
+            check=True,
+            env=env,
+            cwd=REPO_ROOT,
+            stdout=subprocess.DEVNULL,
+        )
+        rows = json.loads(out.read_text())
+    for row in rows:
+        if row["name"] == ROW_NAME:
+            expected = "on" if telemetry else "off"
+            if row["params"].get("telemetry") != expected:
+                raise SystemExit(
+                    f"bench reported telemetry={row['params'].get('telemetry')!r}, "
+                    f"expected {expected!r} — env plumbing is broken"
+                )
+            return float(row["ops_per_sec"])
+    raise SystemExit(f"row {ROW_NAME!r} missing from {BENCH} --json output")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per mode; best-of-N is compared (default 3)")
+    parser.add_argument("--threshold", type=float, default=0.05,
+                        help="max tolerated fractional slowdown (default 0.05)")
+    args = parser.parse_args(argv)
+
+    rates = {"off": [], "on": []}
+    for round_index in range(args.repeats):
+        # Alternate which mode goes first: the second run of a round sees
+        # a warmer (or thermally throttled) machine, and that positional
+        # bias must not land on one side only.
+        order = (False, True) if round_index % 2 == 0 else (True, False)
+        for telemetry in order:
+            rates["on" if telemetry else "off"].append(_run_once(telemetry, []))
+    best = {}
+    for label in ("off", "on"):
+        best[label] = max(rates[label])
+        print(f"telemetry {label}: best {best[label]:,.0f} admits/s "
+              f"of {[f'{r:,.0f}' for r in rates[label]]}")
+
+    overhead = best["off"] / best["on"] - 1.0
+    print(f"overhead with telemetry enabled: {overhead:+.1%} "
+          f"(bar {args.threshold:.0%})")
+    if overhead > args.threshold:
+        print("FAIL: telemetry overhead exceeds the bar", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
