@@ -26,9 +26,15 @@ import time
 import numpy as np
 
 try:
-    from benchmarks.conftest import bench_result, report, write_bench_json
+    from benchmarks.conftest import (
+        bench_result,
+        measure_ab,
+        measure_op,
+        report,
+        write_bench_json,
+    )
 except ImportError:  # executed as a script from the benchmarks/ directory
-    from conftest import bench_result, report, write_bench_json
+    from conftest import bench_result, measure_ab, measure_op, report, write_bench_json
 
 from repro.admission import (
     AdmissionController,
@@ -268,26 +274,80 @@ CONTROLLER_ADMITS = 20_000
 CONTROLLER_ADMITS_SMOKE = 5_000
 
 
-def controller_admit_rate(count: int, seed: int = 13) -> float:
-    """Sequential ``AdmissionController.admit_issue`` throughput.
+def controller_admit_stats(count: int, seed: int = 13) -> dict:
+    """Sequential ``AdmissionController.admit_issue`` per-op stats.
 
     This is the telemetry-sensitive hot path: with a live registry every
     decision pays one counter increment, one histogram observation, and two
     ``perf_counter`` reads; with the null registry those collapse to a
     single boolean test.  ``tools/perf_guard.py`` runs this section with
-    ``REPRO_TELEMETRY`` on and off and enforces the <5 % overhead bar.
+    ``REPRO_TELEMETRY`` on and off and enforces the <5 % overhead bar —
+    comparing **median per-op latency**, which is why this measures each
+    admit individually (``measure_op``) instead of timing one long loop:
+    a CPU-throttle window mid-run poisons total elapsed time but leaves
+    the median untouched.
     """
+    warmup = 50
     rng = np.random.default_rng(seed)
     controller = AdmissionController(capacity_kbps=CAPACITY_KBPS)
-    starts = rng.uniform(0, HORIZON, count)
-    durations = rng.uniform(60, 7200, count)
-    bandwidths = rng.integers(100, 4000, count)
-    began = time.perf_counter()
-    for bandwidth, start, duration in zip(bandwidths, starts, durations):
+    total = count + warmup
+    starts = rng.uniform(0, HORIZON, total)
+    durations = rng.uniform(60, 7200, total)
+    bandwidths = rng.integers(100, 4000, total)
+    state = {"index": 0}
+
+    def run():
+        index = state["index"]
+        state["index"] = index + 1
         controller.admit_issue(
-            1, True, int(bandwidth), float(start), float(start + duration)
+            1,
+            True,
+            int(bandwidths[index]),
+            float(starts[index]),
+            float(starts[index] + durations[index]),
         )
-    return count / (time.perf_counter() - began)
+
+    return measure_op(run, samples=count, warmup=warmup)
+
+
+def controller_admit_ab(count: int, seed: int = 13) -> dict:
+    """Armed-vs-disarmed admit overhead, paired in one process.
+
+    Drives ONE controller under the live registry and flips its
+    ``_telemetry`` flag per arm, so both arms share every byte of state —
+    calendars, caches, memory layout — and differ only in the guarded
+    branch.  (Separate per-arm controllers re-introduce allocator and
+    layout luck worth a few percent; separate bench *runs* are even worse
+    on machines whose clock throttles in multi-second windows.)  The flag
+    write itself costs both arms the same, so it cancels out of the
+    comparison.
+    """
+    if not get_registry().enabled:
+        raise SystemExit("--ab-overhead needs REPRO_TELEMETRY=1 (live registry)")
+    rng = np.random.default_rng(seed)
+    total = 2 * count + 200  # both arms advance the same controller
+    starts = rng.uniform(0, HORIZON, total)
+    durations = rng.uniform(60, 7200, total)
+    bandwidths = rng.integers(100, 4000, total)
+    controller = AdmissionController(capacity_kbps=CAPACITY_KBPS, telemetry=True)
+    state = {"index": 0}
+
+    def arm(enabled: bool):
+        def run():
+            controller._telemetry = enabled
+            index = state["index"]
+            state["index"] = index + 1
+            controller.admit_issue(
+                1,
+                True,
+                int(bandwidths[index]),
+                float(starts[index]),
+                float(starts[index] + durations[index]),
+            )
+
+        return run
+
+    return measure_ab(arm(True), arm(False), samples=count)
 
 
 def _json_rows(
@@ -317,7 +377,33 @@ def main() -> None:
     parser.add_argument(
         "--json", metavar="PATH", help="write machine-readable results to PATH"
     )
+    parser.add_argument(
+        "--ab-overhead",
+        action="store_true",
+        help="only measure armed-vs-disarmed telemetry overhead on the "
+        "controller admit hot path (paired interleaved A/B; needs "
+        "REPRO_TELEMETRY=1)",
+    )
     args = parser.parse_args()
+    if args.ab_overhead:
+        admits = CONTROLLER_ADMITS_SMOKE if args.smoke else CONTROLLER_ADMITS
+        stats = controller_admit_ab(admits)
+        print(
+            f"controller admit telemetry overhead: {stats['overhead']:+.1%} "
+            f"(p50 on {stats['p50_on'] * 1e6:,.1f} us / "
+            f"off {stats['p50_off'] * 1e6:,.1f} us, {admits:,} paired admits)"
+        )
+        write_bench_json(
+            args.json,
+            [
+                {
+                    "name": "admission_controller_admit_ab",
+                    "params": {"count": admits},
+                    **stats,
+                }
+            ],
+        )
+        return
     if args.smoke:
         rows, metrics = sharded_comparison(
             load_count=200_000,
@@ -336,16 +422,19 @@ def main() -> None:
         json_rows = _json_rows(metrics, 10_000_000, 1_000_000)
         admits = CONTROLLER_ADMITS
     telemetry_mode = "on" if get_registry().enabled else "off"
-    admit_rate = controller_admit_rate(admits)
+    admit_stats = controller_admit_stats(admits)
     print(
-        f"\ncontroller admit hot path: {admit_rate:,.0f} admits/s "
+        f"\ncontroller admit hot path: {admit_stats['ops_per_sec']:,.0f} admits/s, "
+        f"p50 {admit_stats['p50'] * 1e6:,.1f} us "
         f"(telemetry {telemetry_mode}, {admits:,} sequential admits)"
     )
     json_rows.append(
         bench_result(
             "admission_controller_admit",
             {"count": admits, "telemetry": telemetry_mode},
-            ops_per_sec=admit_rate,
+            ops_per_sec=admit_stats["ops_per_sec"],
+            p50=admit_stats["p50"],
+            p99=admit_stats["p99"],
         )
     )
     write_bench_json(args.json, json_rows)

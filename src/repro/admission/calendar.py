@@ -8,22 +8,28 @@ control can answer "does a ``bw`` kbps commitment over ``[start, end)``
 still fit?" — the question SIBRA-style per-link accounting puts at the
 heart of any inter-domain reservation system.
 
-Representation: a sorted list of *boundary times* plus, per boundary, the
-committed level in effect from that boundary until the next one (a sentinel
-boundary at ``-inf`` carries level 0).  Point operations are
-``O(log n + k)`` where ``k`` is the number of boundaries the window
-overlaps; bulk queries compile the step function into numpy arrays (levels
-plus per-block maxima) and answer thousands of windows per call with
-``searchsorted`` + three ``maximum.reduceat`` passes — a two-level range
-maximum that costs ``O(B + k/B)`` per window (block size ``B``), so the
-batch-admission hot path stays fast even at 10^6 concurrent reservations.
+Representation: sorted parallel Python lists of *boundary times* and, per
+boundary, the committed level in effect from that boundary until the next
+one (a sentinel boundary at ``-inf`` carries level 0).  Point operations —
+one admit, one release, one peak query — touch only the handful of
+boundaries a window overlaps, where interpreter-side ``bisect`` +
+``list.insert`` beats an ndarray representation outright: numpy pays
+~1-2 us of dispatch per call, which dwarfs the actual work on spans this
+small, while a list insert is a single pointer memmove.  Bulk queries take
+the opposite trade: they compile the step function into cached numpy
+arrays (levels plus per-block maxima) and answer thousands of windows per
+call with ``searchsorted`` + three ``maximum.reduceat`` passes — a
+two-level range maximum that costs ``O(B + k/B)`` per window (block size
+``B``), so batch admission stays fast even at 10^6 concurrent
+reservations; bulk loads (:meth:`commit_batch`) rebuild the whole step
+function from merged boundary deltas in one vectorized pass.
 """
 
 from __future__ import annotations
 
-import bisect
 import dataclasses
 import itertools
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 
 import numpy as np
@@ -104,13 +110,23 @@ class CapacityCalendar:
         self._np_levels: np.ndarray | None = None
         self._np_block_max: np.ndarray | None = None
 
+    def _install(self, times: list[float], levels: list[int]) -> None:
+        """Replace the whole step function (bulk rebuilds)."""
+        self._times = times
+        self._levels = levels
+
     # -- queries ---------------------------------------------------------------
 
     def peak_commitment(self, start: float, end: float) -> int:
         """Maximum committed kbps anywhere in ``[start, end)``."""
         self._check_window(start, end)
-        lo = bisect.bisect_right(self._times, start) - 1
-        hi = bisect.bisect_left(self._times, end)
+        times = self._times
+        lo = bisect_right(times, start) - 1
+        # Boundaries are unique, so the left insertion point for ``end``
+        # is the right one minus (end present).
+        hi = bisect_right(times, end, lo)
+        if times[hi - 1] == end:
+            hi -= 1
         return max(self._levels[lo:hi])
 
     def headroom(self, start: float, end: float) -> int:
@@ -124,8 +140,8 @@ class CapacityCalendar:
     def mean_commitment(self, start: float, end: float) -> float:
         """Time-weighted average committed kbps over ``[start, end)``."""
         self._check_window(start, end)
-        lo = bisect.bisect_right(self._times, start) - 1
-        hi = bisect.bisect_left(self._times, end)
+        lo = bisect_right(self._times, start) - 1
+        hi = bisect_left(self._times, end, lo)
         bounds = [start, *self._times[lo + 1 : hi], end]
         total = sum(
             level * (bounds[i + 1] - bounds[i])
@@ -214,6 +230,27 @@ class CapacityCalendar:
             )
         return self.commit(bandwidth_kbps, start, end, tag)
 
+    def try_commit(
+        self, bandwidth_kbps: int, start: float, end: float, tag: str = ""
+    ) -> Commitment | None:
+        """Commit if the window still has headroom; ``None`` otherwise.
+
+        The non-raising single-walk form of :meth:`admit` — the peak check
+        and the commit share one traversal, which is what per-hop path
+        admission (two directions per hop, every hop on the path) runs in
+        its hot loop.
+        """
+        bandwidth_kbps = int(bandwidth_kbps)
+        self._check_commitment(bandwidth_kbps, start, end)
+        times = self._times
+        lo = bisect_right(times, start) - 1
+        hi = bisect_right(times, end, lo)
+        if times[hi - 1] == end:
+            hi -= 1
+        if max(self._levels[lo:hi]) + bandwidth_kbps > self.capacity_kbps:
+            return None
+        return self.commit(bandwidth_kbps, start, end, tag)
+
     def commit(self, bandwidth_kbps: int, start: float, end: float, tag: str = "") -> Commitment:
         """Record a commitment unconditionally (policies decide the limit)."""
         # Coerce before validating or touching the levels: the step function
@@ -221,10 +258,10 @@ class CapacityCalendar:
         # float input would leak fractional capacity on release.
         bandwidth_kbps = int(bandwidth_kbps)
         self._check_commitment(bandwidth_kbps, start, end)
-        lo = self._ensure_boundary(start)
-        hi = self._ensure_boundary(end)
-        for i in range(lo, hi):
-            self._levels[i] += bandwidth_kbps
+        lo, hi = self._ensure_boundaries(start, end)
+        levels = self._levels
+        levels[lo:hi] = [level + bandwidth_kbps for level in levels[lo:hi]]
+        self._prune_endpoints(lo, hi)
         commitment = Commitment(next(self._ids), bandwidth_kbps, start, end, tag)
         self._commitments[commitment.commitment_id] = commitment
         self._index(commitment)
@@ -249,8 +286,8 @@ class CapacityCalendar:
             return [] if track else None
         if not np.all(ends > starts) or not np.all(bandwidths > 0):
             raise ValueError("every commitment needs end > start and bandwidth > 0")
-        old_times = np.asarray(self._times[1:], dtype=np.float64)
-        old_deltas = np.diff(np.asarray(self._levels, dtype=np.int64))
+        old_times = np.array(self._times[1:], dtype=np.float64)
+        old_deltas = np.diff(np.array(self._levels, dtype=np.int64))
         times = np.concatenate([old_times, starts, ends])
         deltas = np.concatenate([old_deltas, bandwidths, -bandwidths])
         unique_times, inverse = np.unique(times, return_inverse=True)
@@ -258,8 +295,10 @@ class CapacityCalendar:
         np.add.at(merged, inverse, deltas)
         change = merged != 0  # drop boundaries that no longer change the level
         levels = np.cumsum(merged[change])
-        self._times = [_NEG_INF, *unique_times[change].tolist()]
-        self._levels = [0, *levels.tolist()]
+        self._install(
+            [_NEG_INF, *unique_times[change].tolist()],
+            [0, *levels.tolist()],
+        )
         self._dirty = True
         if not track:
             return None
@@ -278,14 +317,11 @@ class CapacityCalendar:
         if commitment is None:
             raise KeyError(f"unknown commitment {commitment_id}")
         self._unindex(commitment)
-        lo = self._ensure_boundary(commitment.start)
-        hi = self._ensure_boundary(commitment.end)
-        for i in range(lo, hi):
-            self._levels[i] -= commitment.bandwidth_kbps
-        for i in range(hi, lo - 1, -1):  # drop now-redundant change points
-            if self._levels[i] == self._levels[i - 1]:
-                del self._times[i]
-                del self._levels[i]
+        lo, hi = self._ensure_boundaries(commitment.start, commitment.end)
+        levels = self._levels
+        bandwidth_kbps = commitment.bandwidth_kbps
+        levels[lo:hi] = [level - bandwidth_kbps for level in levels[lo:hi]]
+        self._prune_endpoints(lo, hi)
         self._dirty = True
         return commitment
 
@@ -394,9 +430,10 @@ class CapacityCalendar:
 
     def _compiled(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         if self._dirty or self._np_times is None:
-            self._np_times = np.asarray(self._times, dtype=np.float64)
+            self._np_times = np.array(self._times, dtype=np.float64)
+            levels = np.array(self._levels, dtype=np.int64)
             # One pad element makes index == len(times) valid for reduceat.
-            self._np_levels = np.asarray(self._levels + [self._levels[-1]], dtype=np.int64)
+            self._np_levels = np.append(levels, levels[-1])
             count = self._np_times.size
             blocks = -(-count // self._BLOCK)
             padded = np.full(blocks * self._BLOCK, -1, dtype=np.int64)
@@ -416,13 +453,41 @@ class CapacityCalendar:
             if not ids:
                 del self._by_tag[commitment.tag]
 
-    def _ensure_boundary(self, time: float) -> int:
-        index = bisect.bisect_right(self._times, time) - 1
-        if self._times[index] == time:
-            return index
-        self._times.insert(index + 1, time)
-        self._levels.insert(index + 1, self._levels[index])
-        return index + 1
+    def _prune_endpoints(self, lo: int, hi: int) -> None:
+        """Restore canonicality after a span add/subtract over ``[lo, hi)``.
+
+        The representation is kept *canonical*: no boundary where the level
+        does not change.  A uniform span update shifts every interior
+        boundary and its predecessor alike, so only the two endpoints can
+        have become redundant — and because the canonical form is a pure
+        function of the level profile plus live commitments, a
+        commit-then-release round trip restores the lists byte-identically
+        (the rollback oracle in :mod:`repro.pathadm.fingerprint`).
+        """
+        times = self._times
+        levels = self._levels
+        if hi != lo and levels[hi] == levels[hi - 1]:
+            del times[hi]
+            del levels[hi]
+        if levels[lo] == levels[lo - 1]:
+            del times[lo]
+            del levels[lo]
+
+    def _ensure_boundaries(self, start: float, end: float) -> tuple[int, int]:
+        """Materialize boundaries at ``start`` and ``end``; return their indices."""
+        times = self._times
+        levels = self._levels
+        lo = bisect_right(times, start) - 1
+        if times[lo] != start:
+            lo += 1
+            times.insert(lo, start)
+            levels.insert(lo, levels[lo - 1])
+        hi = bisect_right(times, end, lo) - 1
+        if times[hi] != end:
+            hi += 1
+            times.insert(hi, end)
+            levels.insert(hi, levels[hi - 1])
+        return lo, hi
 
     @staticmethod
     def _check_window(start: float, end: float) -> None:

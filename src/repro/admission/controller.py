@@ -61,6 +61,7 @@ class AdmissionController:
         capacities: dict[tuple[int, bool], int] | None = None,
         shard_seconds: float | None = None,
         auction_interfaces: bool | set[tuple[int, bool]] | None = None,
+        telemetry: bool | None = None,
     ) -> None:
         """Configure the admission authority for one AS.
 
@@ -80,6 +81,14 @@ class AdmissionController:
                 by sealed-bid auction instead of posted prices — ``None``
                 (posted everywhere, the default), ``True`` (auction
                 everywhere), or a set of ``(interface, is_ingress)`` pairs.
+            telemetry: ``False`` disarms this controller's per-admit
+                instrumentation even when the process registry is live —
+                the per-op path is then identical to running with
+                ``REPRO_TELEMETRY`` unset.  ``None`` (default) follows the
+                registry; ``True`` cannot force metrics on a null
+                registry.  ``tools/perf_guard.py`` uses the override to
+                benchmark an armed and a disarmed controller side by side
+                in one process.
 
         Raises:
             ValueError: non-positive capacity or shard width.
@@ -105,19 +114,23 @@ class AdmissionController:
         self._auctions: dict[tuple[int, bool, float, float], WindowAuction] = {}
         self.rejections = 0
         registry = get_registry()
-        self._telemetry = registry.enabled
+        self._telemetry = registry.enabled if telemetry is None else (
+            bool(telemetry) and registry.enabled
+        )
         self._m_decisions = registry.counter(
             "admission_decisions_total",
             "Admission decisions by layer, interface, direction, and outcome.",
             ("layer", "interface", "direction", "outcome"),
         )
-        # Children are cached per interface in 8-slot lists indexed by
-        # (layer, direction, outcome), so the per-admit path is one
-        # int-keyed dict get + a list index + a bare attribute add — it
-        # never re-derives label strings, re-enters Family.labels(), or
-        # even hashes a tuple; the budget is <5 % over the uninstrumented
-        # path.
-        self._decision_children: dict[int, list] = {}
+        # The per-admit hot cache: (calendar, reject child, admit child)
+        # per (layer, interface, direction), so the one dict lookup
+        # _admit pays anyway (it needs the calendar) also yields the
+        # decision counters.  The telemetry branch's *marginal* cost is
+        # then a tick increment, a conditional child pick, and a bare
+        # attribute add — it never re-derives label strings or re-enters
+        # Family.labels(); the budget is <5 % over the uninstrumented
+        # path (enforced by tools/perf_guard.py).
+        self._hot: dict[tuple[str, int, bool], tuple] = {}
         admit_seconds = registry.histogram(
             "admission_admit_seconds",
             "Wall-clock latency of one policy.admit call (commit included), "
@@ -233,7 +246,10 @@ class AdmissionController:
         end: float,
         tag: str,
     ) -> AdmissionDecision:
-        calendar = self.calendar(interface, is_ingress, layer)
+        entry = self._hot.get((layer, interface, is_ingress))
+        if entry is None:
+            entry = self._hot_entry(layer, interface, is_ingress)
+        calendar, reject_child, admit_child = entry
         request = AdmissionRequest(int(bandwidth_kbps), start, end, buyer=tag)
         if self._telemetry:
             self._admit_tick = tick = self._admit_tick + 1
@@ -243,23 +259,7 @@ class AdmissionController:
                 began = time.perf_counter()
                 decision = self.policy.admit(calendar, request)
                 self._m_admit_seconds[layer].observe(time.perf_counter() - began)
-            slots = self._decision_children.get(interface)
-            if slots is None:
-                slots = self._decision_children[interface] = [None] * 8
-            index = (
-                (0 if layer is ISSUED else 4)
-                + (2 if is_ingress else 0)
-                + (1 if decision.admitted else 0)
-            )
-            child = slots[index]
-            if child is None:
-                child = slots[index] = self._m_decisions.labels(
-                    layer,
-                    interface,
-                    "ingress" if is_ingress else "egress",
-                    "admit" if decision.admitted else "reject",
-                )
-            child.value += 1.0
+            (admit_child if decision.admitted else reject_child).value += 1.0
         else:
             decision = self.policy.admit(calendar, request)
         if not decision.admitted:
@@ -276,6 +276,17 @@ class AdmissionController:
                 reason=decision.reason,
             )
         return decision
+
+    def _hot_entry(self, layer: str, interface: int, is_ingress: bool) -> tuple:
+        calendar = self.calendar(interface, is_ingress, layer)
+        direction = "ingress" if is_ingress else "egress"
+        entry = (
+            calendar,
+            self._m_decisions.labels(layer, interface, direction, "reject"),
+            self._m_decisions.labels(layer, interface, direction, "admit"),
+        )
+        self._hot[(layer, interface, is_ingress)] = entry
+        return entry
 
     def release(
         self, interface: int, is_ingress: bool, commitment: Commitment, layer: str = ISSUED

@@ -236,11 +236,36 @@ class ShardedCalendar:
             )
         return self.commit(bandwidth_kbps, start, end, tag)
 
+    def try_commit(
+        self, bandwidth_kbps: int, start: float, end: float, tag: str = ""
+    ) -> Commitment | None:
+        """Commit if every shard still has headroom; ``None`` otherwise.
+
+        The non-raising fused form of :meth:`admit`: one pass peak-checks
+        the existing shards (missing shards are empty and always fit), a
+        second pass commits the per-shard pieces — instead of a full
+        ``headroom`` walk followed by an independent ``commit`` walk.
+        """
+        bandwidth_kbps = int(bandwidth_kbps)
+        self._check_commitment(bandwidth_kbps, start, end)
+        self._check_span(start, end)
+        limit = self.capacity_kbps - bandwidth_kbps
+        for key, calendar in self._overlapping(start, end):
+            clip_start, clip_end = self._clip(key, start, end)
+            if calendar.peak_commitment(clip_start, clip_end) > limit:
+                return None
+        return self._commit_checked(bandwidth_kbps, start, end, tag)
+
     def commit(self, bandwidth_kbps: int, start: float, end: float, tag: str = "") -> Commitment:
         """Record a commitment unconditionally, projected into its shards."""
         bandwidth_kbps = int(bandwidth_kbps)
         self._check_commitment(bandwidth_kbps, start, end)
         self._check_span(start, end)
+        return self._commit_checked(bandwidth_kbps, start, end, tag)
+
+    def _commit_checked(
+        self, bandwidth_kbps: int, start: float, end: float, tag: str
+    ) -> Commitment:
         commitment = Commitment(
             next(self._ids), bandwidth_kbps, float(start), float(end), tag
         )
@@ -453,8 +478,52 @@ class ShardedCalendar:
             for calendar, key, piece_id in b_pieces:
                 if self._shards.get(key) is calendar:
                     calendar.transfer(piece_id, a.tag)
-        self._register(fused, a_pieces + b_pieces)
+        if (a.start, a.end) == (b.start, b.end):
+            pieces = self._fuse_stacked_pieces(a_pieces, b_pieces)
+        else:
+            pieces = a_pieces + b_pieces
+        self._register(fused, pieces)
         return fused
+
+    def _fuse_stacked_pieces(
+        self, a_pieces: list[_Piece], b_pieces: list[_Piece]
+    ) -> list[_Piece]:
+        """Stack two same-window commitments' per-shard projections.
+
+        Every inner piece must carry exactly its commitment's bandwidth —
+        ``split_bandwidth`` splits each shard's piece by the same absolute
+        share as the outer record.  Concatenating the arms' pieces would
+        leave each at its own (smaller) bandwidth, so the pieces are fused
+        per shard: first each arm's time-adjacent chain, then the two
+        stacked projections.
+        """
+
+        def coalesce(pieces: list[_Piece]) -> dict:
+            by_key: dict[tuple, tuple] = {}
+            for calendar, key, piece_id in pieces:
+                if self._shards.get(key) is not calendar:
+                    continue  # piece history dropped by expire
+                by_key.setdefault(key, (calendar, []))[1].append(piece_id)
+            merged = {}
+            for key, (calendar, ids) in by_key.items():
+                ids.sort(key=lambda piece_id: calendar.get(piece_id).start)
+                fused_id = ids[0]
+                for piece_id in ids[1:]:
+                    fused_id = calendar.fuse(fused_id, piece_id).commitment_id
+                merged[key] = (calendar, fused_id)
+            return merged
+
+        merged_a = coalesce(a_pieces)
+        merged_b = coalesce(b_pieces)
+        pieces: list[_Piece] = []
+        for key, (calendar, piece_id) in merged_a.items():
+            if key in merged_b:
+                _, other_id = merged_b.pop(key)
+                piece_id = calendar.fuse(piece_id, other_id).commitment_id
+            pieces.append((calendar, key, piece_id))
+        for key, (calendar, piece_id) in merged_b.items():
+            pieces.append((calendar, key, piece_id))
+        return pieces
 
     def transfer(self, commitment_id: int, tag: str) -> Commitment:
         """Re-label a commitment (ownership moved, e.g. a resold asset)."""

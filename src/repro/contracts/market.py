@@ -30,6 +30,18 @@ and refunds every loser (and every winner's escrow surplus) *inside the
 same transaction*, so either the whole settlement lands or no money moves.
 Unawarded bandwidth reverts to a posted listing at the reserve price.
 The protocol is specified in ``docs/auctions.md``.
+
+For whole inter-domain paths the contract additionally runs
+**combinatorial path auctions** (``create_path_auction`` /
+``contribute_path_leg`` / ``place_path_bid`` / ``settle_path_auction``):
+every AS on the path contributes one leg asset into custody, a bidder
+escrows **one** payment covering every leg, and settlement runs
+:func:`repro.pathadm.auction.combinatorial_path_clearing` — all legs or
+none per bid — carving every leg asset for every winner, paying each leg
+seller its own proceeds, and refunding losers (and winners' surplus) in
+the same transaction.  Settlement conserves escrow exactly:
+``sum(paid) + sum(refunds) == sum(escrows)``.  The lifecycle is
+specified in ``docs/paths.md``.
 """
 
 from __future__ import annotations
@@ -44,12 +56,20 @@ from repro.contracts.asset import (
 from repro.contracts.framework import CallContext, Contract
 from repro.ledger.accounts import COIN_TYPE
 from repro.ledger.objects import Ownership
+from repro.pathadm.auction import (
+    LegSupply,
+    PathBid,
+    combinatorial_path_clearing,
+    path_escrow_mist,
+)
 
 MARKETPLACE_TYPE = "market::Marketplace"
 LISTING_TYPE = "market::Listing"
 SELLER_CAP_TYPE = "market::SellerCap"
 AUCTION_TYPE = "market::Auction"
 BID_TYPE = "market::Bid"
+PATH_AUCTION_TYPE = "market::PathAuction"
+PATH_BID_TYPE = "market::PathBid"
 
 MICROMIST = 1_000_000
 
@@ -533,6 +553,385 @@ class MarketContract(Contract):
             "listing": listing_id,
             "winners": winner_reports,
             "losers": loser_reports,
+        }
+
+    # -- path auctions -------------------------------------------------------------
+
+    def create_path_auction(
+        self, ctx: CallContext, marketplace: str, num_legs: int
+    ) -> dict:
+        """Open the shell of a combinatorial path auction.
+
+        The creator (any registered seller — typically the first AS on the
+        path) declares how many legs the path has; each leg's AS then
+        contributes its asset via :meth:`contribute_path_leg`.  Bidding
+        opens only once every leg is contributed.
+        """
+        market = ctx.take_shared(marketplace, MARKETPLACE_TYPE)
+        ctx.require(ctx.sender in market.payload["sellers"], "seller not registered")
+        ctx.require(num_legs > 0, "a path auction needs at least one leg")
+        path_auction = ctx.create_object(
+            PATH_AUCTION_TYPE,
+            {
+                "marketplace": marketplace,
+                "creator": ctx.sender,
+                "legs": [None] * int(num_legs),
+                "bids": [],
+            },
+            owner=marketplace,
+        )
+        ctx.emit(
+            "PathAuctionOpened",
+            {
+                "marketplace": marketplace,
+                "path_auction": path_auction.object_id,
+                "creator": ctx.sender,
+                "num_legs": int(num_legs),
+            },
+        )
+        return {"path_auction": path_auction.object_id}
+
+    def contribute_path_leg(
+        self,
+        ctx: CallContext,
+        marketplace: str,
+        path_auction: str,
+        leg_index: int,
+        asset: str,
+        reserve_micromist_per_unit: int,
+        share_cap_kbps: int | None = None,
+    ) -> dict:
+        """One AS places its leg asset into the path auction's custody.
+
+        The sender becomes that leg's seller: settlement pays it the leg's
+        proceeds and relists the leg's unawarded remainder under its name.
+        Every leg must cover the *same* time window (a path reservation is
+        one window on every hop); the first contribution fixes it.
+        """
+        market = ctx.take_shared(marketplace, MARKETPLACE_TYPE)
+        ctx.require(ctx.sender in market.payload["sellers"], "seller not registered")
+        ctx.require(reserve_micromist_per_unit > 0, "reserve price must be positive")
+        ctx.require(
+            share_cap_kbps is None or share_cap_kbps > 0,
+            "share cap must be positive when given",
+        )
+        auction_object = ctx.take_owned(
+            path_auction, PATH_AUCTION_TYPE, owner=marketplace
+        )
+        legs = auction_object.payload["legs"]
+        ctx.require(0 <= leg_index < len(legs), "leg index out of range")
+        ctx.require(legs[leg_index] is None, "leg already contributed")
+        ctx.require(not auction_object.payload["bids"], "bidding already open")
+        asset_object = ctx.take_owned(asset, ASSET_TYPE)
+        payload = asset_object.payload
+        for other in legs:
+            if other is not None:
+                ctx.require(
+                    other["start"] == payload["start"]
+                    and other["expiry"] == payload["expiry"],
+                    "every leg must cover the same time window",
+                )
+                break
+        ctx.transfer(asset_object, marketplace)
+        legs[leg_index] = {
+            "asset": asset,
+            "seller": ctx.sender,
+            "reserve_micromist_per_unit": int(reserve_micromist_per_unit),
+            "share_cap_kbps": None if share_cap_kbps is None else int(share_cap_kbps),
+            "isd": payload["isd"],
+            "asn": payload["asn"],
+            "interface": payload["interface"],
+            "is_ingress": payload["is_ingress"],
+            "bandwidth_kbps": payload["bandwidth_kbps"],
+            "start": payload["start"],
+            "expiry": payload["expiry"],
+            "granularity": payload["granularity"],
+            "min_bandwidth_kbps": payload["min_bandwidth_kbps"],
+        }
+        ctx.mutate(auction_object)
+        ctx.emit(
+            "PathLegContributed",
+            {
+                "marketplace": marketplace,
+                "path_auction": path_auction,
+                "leg_index": int(leg_index),
+                "legs_missing": sum(1 for leg in legs if leg is None),
+                **legs[leg_index],
+            },
+        )
+        return {"leg_index": int(leg_index)}
+
+    def place_path_bid(
+        self,
+        ctx: CallContext,
+        marketplace: str,
+        path_auction: str,
+        bandwidth_kbps: int,
+        price_micromist_per_unit: int,
+        payment: str,
+    ) -> dict:
+        """One sealed combinatorial bid: the same bandwidth on every leg.
+
+        ``price_micromist_per_unit`` is the maximum unit price **per
+        leg**; the escrow is the worst case on every leg —
+        ``num_legs * ceil(bandwidth * duration * price / 1e6)`` MIST
+        (:func:`repro.pathadm.auction.path_escrow_mist`).  The bid wins on
+        all legs or none; no leg seller may bid.
+        """
+        ctx.take_shared(marketplace, MARKETPLACE_TYPE)
+        auction_object = ctx.take_owned(
+            path_auction, PATH_AUCTION_TYPE, owner=marketplace
+        )
+        legs = auction_object.payload["legs"]
+        ctx.require(all(leg is not None for leg in legs), "path not fully contributed")
+        ctx.require(
+            all(leg["seller"] != ctx.sender for leg in legs),
+            "a leg seller cannot bid in their own path auction",
+        )
+        ctx.require(price_micromist_per_unit > 0, "bid price must be positive")
+        min_bw = max(leg["min_bandwidth_kbps"] for leg in legs)
+        max_bw = min(leg["bandwidth_kbps"] for leg in legs)
+        ctx.require(
+            min_bw <= bandwidth_kbps <= max_bw,
+            "bid bandwidth outside [widest leg minimum, narrowest leg]",
+        )
+        duration = legs[0]["expiry"] - legs[0]["start"]
+        escrow_mist = path_escrow_mist(
+            int(bandwidth_kbps), duration, int(price_micromist_per_unit), len(legs)
+        )
+        coin = ctx.take_owned(payment, COIN_TYPE)
+        ctx.require(coin.payload["balance"] >= escrow_mist, "insufficient escrow")
+        coin.payload["balance"] -= escrow_mist
+        ctx.mutate(coin)
+        seq = len(auction_object.payload["bids"])
+        bid = ctx.create_object(
+            PATH_BID_TYPE,
+            {
+                "marketplace": marketplace,
+                "path_auction": path_auction,
+                "bidder": ctx.sender,
+                "bandwidth_kbps": int(bandwidth_kbps),
+                "price_micromist_per_unit": int(price_micromist_per_unit),
+                "escrow_mist": int(escrow_mist),
+                "seq": seq,
+            },
+            owner=marketplace,
+        )
+        auction_object.payload["bids"].append(bid.object_id)
+        ctx.mutate(auction_object)
+        ctx.emit(
+            "PathBidPlaced",
+            {
+                "marketplace": marketplace,
+                "path_auction": path_auction,
+                "bid": bid.object_id,
+                "bidder": ctx.sender,
+                "bandwidth_kbps": int(bandwidth_kbps),
+                "price_micromist_per_unit": int(price_micromist_per_unit),
+                "escrow_mist": int(escrow_mist),
+                "seq": seq,
+            },
+        )
+        return {"bid": bid.object_id, "escrow_mist": int(escrow_mist)}
+
+    def settle_path_auction(
+        self,
+        ctx: CallContext,
+        marketplace: str,
+        path_auction: str,
+        supplies_kbps: list[int] | None = None,
+    ) -> dict:
+        """Clear the path book all-or-nothing and settle every leg atomically.
+
+        Any leg seller (or the creator) may settle; ``supplies_kbps``
+        optionally clamps each leg's sellable bandwidth to its live
+        calendar headroom.  The clearing rule is
+        :func:`repro.pathadm.auction.combinatorial_path_clearing` — the
+        same pure function hosts use to preview — composing the per-leg
+        uniform-price rule with the all-legs-or-nothing eviction pass.
+
+        Effects, all inside this one transaction:
+
+        * every path winner receives a bandwidth-split piece of **every**
+          leg asset and pays the sum of the per-leg clearing prices
+          (ceil-priced per leg); the escrow surplus comes back as a coin;
+        * every loser's full escrow comes back as a coin;
+        * each leg's seller receives one coin with that leg's proceeds;
+        * each leg's unawarded bandwidth reverts to a posted listing at
+          the leg's reserve, under the leg seller's name;
+        * the path auction and all bid objects are destroyed.
+
+        Escrow is conserved exactly: total paid to sellers plus total
+        refunds equals total escrow taken at bid time.
+        """
+        market = ctx.take_shared(marketplace, MARKETPLACE_TYPE)
+        auction_object = ctx.take_owned(
+            path_auction, PATH_AUCTION_TYPE, owner=marketplace
+        )
+        legs = auction_object.payload["legs"]
+        ctx.require(all(leg is not None for leg in legs), "path not fully contributed")
+        sellers = {leg["seller"] for leg in legs}
+        ctx.require(
+            ctx.sender in sellers or ctx.sender == auction_object.payload["creator"],
+            "only a leg seller or the creator may settle",
+        )
+        leg_assets = [
+            ctx.take_owned(leg["asset"], ASSET_TYPE, owner=marketplace) for leg in legs
+        ]
+        duration = legs[0]["expiry"] - legs[0]["start"]
+        if supplies_kbps is None:
+            supplies_kbps = [leg["bandwidth_kbps"] for leg in legs]
+        ctx.require(len(supplies_kbps) == len(legs), "one supply per leg required")
+        for supply, leg in zip(supplies_kbps, legs):
+            ctx.require(
+                0 <= supply <= leg["bandwidth_kbps"],
+                "supply must be within [0, leg bandwidth]",
+            )
+
+        bid_objects = {}
+        bids = []
+        for bid_id in auction_object.payload["bids"]:
+            bid_object = ctx.take_owned(bid_id, PATH_BID_TYPE, owner=marketplace)
+            bid_objects[bid_object.payload["seq"]] = bid_object
+            bids.append(
+                PathBid(
+                    bidder=bid_object.payload["bidder"],
+                    bandwidth_kbps=bid_object.payload["bandwidth_kbps"],
+                    price_micromist_per_unit=bid_object.payload[
+                        "price_micromist_per_unit"
+                    ],
+                    seq=bid_object.payload["seq"],
+                )
+            )
+        outcome = combinatorial_path_clearing(
+            bids,
+            [
+                LegSupply(
+                    supply_kbps=int(supply),
+                    reserve_micromist=leg["reserve_micromist_per_unit"],
+                    share_cap_kbps=leg["share_cap_kbps"],
+                    total_kbps=leg["bandwidth_kbps"],
+                    min_fragment_kbps=leg["min_bandwidth_kbps"],
+                )
+                for supply, leg in zip(supplies_kbps, legs)
+            ],
+        )
+        clearing_prices = outcome.clearing_prices_micromist
+
+        targets = list(leg_assets)
+        leg_proceeds = [0] * len(legs)
+        winner_reports = []
+        for bid in outcome.winners:
+            bid_object = bid_objects[bid.seq]
+            pieces = []
+            paid_mist = 0
+            for index, price in enumerate(clearing_prices):
+                target = targets[index]
+                if bid.bandwidth_kbps == target.payload["bandwidth_kbps"]:
+                    piece, targets[index] = target, None
+                else:
+                    piece = split_bandwidth_inner(
+                        ctx, target, bid.bandwidth_kbps, new_owner=marketplace
+                    )
+                leg_paid = -(-bid.bandwidth_kbps * duration * price // MICROMIST)
+                leg_proceeds[index] += leg_paid
+                paid_mist += leg_paid
+                ctx.transfer(piece, bid.bidder)
+                pieces.append(piece.object_id)
+            refund_mist = bid_object.payload["escrow_mist"] - paid_mist
+            if refund_mist > 0:
+                ctx.create_object(
+                    COIN_TYPE, {"balance": int(refund_mist)}, owner=bid.bidder
+                )
+            winner_reports.append(
+                {
+                    "bidder": bid.bidder,
+                    "bid": bid_object.object_id,
+                    "bandwidth_kbps": bid.bandwidth_kbps,
+                    "paid_mist": int(paid_mist),
+                    "refund_mist": int(max(refund_mist, 0)),
+                    "assets": pieces,
+                }
+            )
+            ctx.delete_object(bid_object)
+
+        loser_reports = []
+        for lost in outcome.losers:
+            bid_object = bid_objects[lost.bid.seq]
+            refund_mist = bid_object.payload["escrow_mist"]
+            if refund_mist > 0:
+                ctx.create_object(
+                    COIN_TYPE, {"balance": int(refund_mist)}, owner=lost.bid.bidder
+                )
+            loser_reports.append(
+                {
+                    "bidder": lost.bid.bidder,
+                    "bid": bid_object.object_id,
+                    "leg": int(lost.leg),
+                    "refund_mist": int(refund_mist),
+                    "reason": lost.reason,
+                }
+            )
+            ctx.delete_object(bid_object)
+
+        leg_reports = []
+        for index, (leg, target) in enumerate(zip(legs, targets)):
+            if leg_proceeds[index] > 0:
+                ctx.create_object(
+                    COIN_TYPE,
+                    {"balance": int(leg_proceeds[index])},
+                    owner=leg["seller"],
+                )
+            listing_id = None
+            if target is not None:
+                listing = ctx.create_object(
+                    LISTING_TYPE,
+                    {
+                        "marketplace": marketplace,
+                        "asset": target.object_id,
+                        "seller": leg["seller"],
+                        "price_micromist_per_unit": leg[
+                            "reserve_micromist_per_unit"
+                        ],
+                    },
+                    owner=marketplace,
+                )
+                market.payload["listing_count"] += 1
+                ctx.emit("Listed", _listing_snapshot(listing, target))
+                listing_id = listing.object_id
+            leg_reports.append(
+                {
+                    "leg_index": index,
+                    "seller": leg["seller"],
+                    "clearing_price_micromist": int(clearing_prices[index]),
+                    "proceeds_mist": int(leg_proceeds[index]),
+                    "listing": listing_id,
+                }
+            )
+
+        ctx.delete_object(auction_object)
+        ctx.mutate(market)
+        ctx.emit(
+            "PathAuctionSettled",
+            {
+                "marketplace": marketplace,
+                "path_auction": path_auction,
+                "num_legs": len(legs),
+                "clearing_prices_micromist": [int(p) for p in clearing_prices],
+                "supplies_kbps": [int(s) for s in supplies_kbps],
+                "winners": winner_reports,
+                "losers": loser_reports,
+                "legs": leg_reports,
+                "proceeds_mist": int(sum(leg_proceeds)),
+            },
+        )
+        return {
+            "clearing_prices_micromist": [int(p) for p in clearing_prices],
+            "supplies_kbps": [int(s) for s in supplies_kbps],
+            "winners": winner_reports,
+            "losers": loser_reports,
+            "legs": leg_reports,
+            "proceeds_mist": int(sum(leg_proceeds)),
         }
 
     # -- internals ------------------------------------------------------------------

@@ -4,6 +4,8 @@ from repro.controlplane.asclient import (
     AsService,
     DeliveryRecord,
     OpenAuctionRecord,
+    PathLegRecord,
+    PathSettlementRecord,
     SettlementRecord,
 )
 from repro.controlplane.hostclient import (
@@ -14,6 +16,7 @@ from repro.controlplane.hostclient import (
     HostClient,
     IncompatibleGranularity,
     ListingNotFound,
+    PathBidSettlement,
     PurchasePlan,
     ResolvedHop,
     plan_from_quote,
@@ -23,9 +26,12 @@ from repro.controlplane.pki import CpPki
 from repro.controlplane.workflow import (
     LatencyBreakdown,
     MarketDeployment,
+    PathAuctionHandle,
     PurchaseOutcome,
     deploy_market,
+    open_path_auction,
     purchase_path,
+    settle_path_auction,
 )
 
 __all__ = [
@@ -40,6 +46,10 @@ __all__ = [
     "HostClient",
     "IncompatibleGranularity",
     "ListingNotFound",
+    "PathAuctionHandle",
+    "PathBidSettlement",
+    "PathLegRecord",
+    "PathSettlementRecord",
     "PurchasePlan",
     "ResolvedHop",
     "ReservationLease",
@@ -49,6 +59,8 @@ __all__ = [
     "MarketDeployment",
     "PurchaseOutcome",
     "deploy_market",
+    "open_path_auction",
     "plan_from_quote",
     "purchase_path",
+    "settle_path_auction",
 ]

@@ -87,6 +87,35 @@ class SettlementRecord:
     submitted: SubmittedTransaction
 
 
+@dataclass
+class PathLegRecord:
+    """One leg this AS contributed to a combinatorial path auction."""
+
+    path_auction: str
+    marketplace: str
+    leg_index: int
+    interface: int
+    is_ingress: bool
+    bandwidth_kbps: int
+    start: int
+    expiry: int
+    reserve_micromist_per_unit: int
+    commitment: object  # the issued-calendar claim backing the leg asset
+
+
+@dataclass
+class PathSettlementRecord:
+    """One settled path auction: the on-chain result plus the transaction."""
+
+    path_auction: str
+    clearing_prices_micromist: list[int]
+    proceeds_mist: int
+    supplies_kbps: list[int]
+    winners: list[dict]
+    legs: list[dict]
+    submitted: SubmittedTransaction
+
+
 class AsService:
     """The per-AS control-plane daemon."""
 
@@ -127,6 +156,10 @@ class AsService:
         self.open_auctions: dict[str, OpenAuctionRecord] = {}
         self.settlements: list[SettlementRecord] = []
         self._bid_checkpoint = 0
+        # Combinatorial path auctions: legs this AS contributed, by
+        # (path auction id, leg index), plus settled results.
+        self.path_legs: dict[tuple[str, int], PathLegRecord] = {}
+        self.path_settlements: list[PathSettlementRecord] = []
         registry = get_registry()
         self._telemetry = registry.enabled
         self._m_deliveries = registry.counter(
@@ -148,6 +181,16 @@ class AsService:
             "as_auction_awarded_kbps_total",
             "Bandwidth awarded to auction winners, in kbps.",
             ("isd_as",),
+        )
+        self._m_path_legs = registry.counter(
+            "as_path_legs_total",
+            "Legs this AS contributed to combinatorial path auctions.",
+            ("isd_as",),
+        )
+        self._m_path_settlements = registry.counter(
+            "as_path_settlements_total",
+            "Path auction settlements, by whether any path bid won.",
+            ("isd_as", "outcome"),
         )
 
     @property
@@ -583,6 +626,218 @@ class AsService:
                     winners=len(outcome.winners),
                 )
         return settled
+
+    # -- combinatorial path auctions ------------------------------------------------
+
+    def open_path_auction(self, marketplace: str, num_legs: int) -> SubmittedTransaction:
+        """Open the shell of a combinatorial path auction (creator role).
+
+        The creator only declares the leg count; each on-path AS then
+        contributes its own legs via :meth:`contribute_path_leg` — a path
+        over N AS crossings has ``2 * N`` legs (ingress and egress per
+        crossing).  Bidding opens once the last leg lands.
+        """
+        return self.executor.submit(
+            Transaction(
+                sender=self.account.address,
+                commands=[
+                    Command(
+                        "market",
+                        "create_path_auction",
+                        {"marketplace": marketplace, "num_legs": num_legs},
+                    )
+                ],
+            )
+        )
+
+    def contribute_path_leg(
+        self,
+        marketplace: str,
+        path_auction: str,
+        leg_index: int,
+        interface: int,
+        is_ingress: bool,
+        bandwidth_kbps: int,
+        start: int,
+        expiry: int,
+        base_price_micromist: int,
+        granularity: int = DEFAULT_GRANULARITY,
+        min_bandwidth_kbps: int = DEFAULT_MIN_BANDWIDTH,
+    ) -> SubmittedTransaction:
+        """Issue this AS's leg asset and place it in the path auction.
+
+        Like every issuance, the leg must first clear the *issued*
+        capacity calendar; the leg's reserve price is the
+        scarcity-adjusted quote over ``base_price_micromist`` and the
+        per-bidder share cap comes from the controller's
+        proportional-share policy when one is installed.  A ledger
+        refusal hands the calendar claim straight back.
+
+        Raises:
+            RuntimeError: the AS has not registered.
+            AdmissionRejected: the window would oversell the interface.
+        """
+        if self.token_id is None:
+            raise RuntimeError("AS must register before issuing assets")
+        reserve = self.admission.quote(
+            base_price_micromist, interface, is_ingress, start, expiry
+        )
+        decision = self.admission.admit_issue(
+            interface,
+            is_ingress,
+            bandwidth_kbps,
+            start,
+            expiry,
+            tag=f"pathleg:{self.isd_as}",
+        )
+        if not decision.admitted:
+            raise AdmissionRejected(
+                f"{self.isd_as} interface {interface} "
+                f"({'ingress' if is_ingress else 'egress'}): {decision.reason}"
+            )
+        submitted = self.executor.submit(
+            Transaction(
+                sender=self.account.address,
+                commands=[
+                    Command(
+                        "asset",
+                        "issue",
+                        {
+                            "token": self.token_id,
+                            "bandwidth_kbps": bandwidth_kbps,
+                            "start": start,
+                            "expiry": expiry,
+                            "interface": interface,
+                            "is_ingress": is_ingress,
+                            "granularity": granularity,
+                            "min_bandwidth_kbps": min_bandwidth_kbps,
+                        },
+                    ),
+                    Command(
+                        "market",
+                        "contribute_path_leg",
+                        {
+                            "marketplace": marketplace,
+                            "path_auction": path_auction,
+                            "leg_index": leg_index,
+                            "asset": Result(0, "asset"),
+                            "reserve_micromist_per_unit": reserve,
+                            "share_cap_kbps": self.admission.share_cap_kbps(
+                                interface, is_ingress
+                            ),
+                        },
+                    ),
+                ],
+            )
+        )
+        if not submitted.effects.ok:
+            # The ledger refused the leg: hand its capacity back.
+            self.admission.release(interface, is_ingress, decision.commitment)
+            return submitted
+        self.path_legs[(path_auction, leg_index)] = PathLegRecord(
+            path_auction=path_auction,
+            marketplace=marketplace,
+            leg_index=leg_index,
+            interface=interface,
+            is_ingress=is_ingress,
+            bandwidth_kbps=bandwidth_kbps,
+            start=start,
+            expiry=expiry,
+            reserve_micromist_per_unit=reserve,
+            commitment=decision.commitment,
+        )
+        if self._telemetry:
+            self._m_path_legs.labels(str(self.isd_as)).inc()
+        return submitted
+
+    def path_leg_supply(self, path_auction: str, leg_index: int) -> int:
+        """This AS's live sellable bandwidth on one contributed leg.
+
+        The offered leg bandwidth clamped by the interface direction's
+        current active-calendar headroom — the same
+        :meth:`~repro.admission.AdmissionController.settle_supply` rule
+        single-window auctions settle under.
+
+        Raises:
+            KeyError: this AS never contributed that leg.
+        """
+        record = self.path_legs[(path_auction, leg_index)]
+        return self.admission.settle_supply(
+            record.interface,
+            record.is_ingress,
+            record.start,
+            record.expiry,
+            record.bandwidth_kbps,
+        )
+
+    def settle_path_auction(
+        self,
+        marketplace: str,
+        path_auction: str,
+        supplies_kbps: list[int] | None = None,
+    ) -> PathSettlementRecord:
+        """Submit the all-or-nothing settle transaction for a path auction.
+
+        ``supplies_kbps`` carries every leg's live supply (collected from
+        each on-path AS via :meth:`path_leg_supply`); ``None`` settles at
+        the full contributed bandwidths.  Clears, awards, refunds, pays
+        every leg seller, and relists remainders atomically on-chain.
+
+        Raises:
+            RuntimeError: the ledger refused the settle transaction.
+        """
+        submitted = self.executor.submit(
+            Transaction(
+                sender=self.account.address,
+                commands=[
+                    Command(
+                        "market",
+                        "settle_path_auction",
+                        {
+                            "marketplace": marketplace,
+                            "path_auction": path_auction,
+                            "supplies_kbps": supplies_kbps,
+                        },
+                    )
+                ],
+            )
+        )
+        if not submitted.effects.ok:
+            raise RuntimeError(
+                f"settle of path auction {path_auction[:8]}... failed: "
+                f"{submitted.effects.error}"
+            )
+        result = submitted.effects.returns[0]
+        record = PathSettlementRecord(
+            path_auction=path_auction,
+            clearing_prices_micromist=result["clearing_prices_micromist"],
+            proceeds_mist=result["proceeds_mist"],
+            supplies_kbps=result["supplies_kbps"],
+            winners=result["winners"],
+            legs=result["legs"],
+            submitted=submitted,
+        )
+        self.path_settlements.append(record)
+        self.path_legs = {
+            key: leg
+            for key, leg in self.path_legs.items()
+            if key[0] != path_auction
+        }
+        if self._telemetry:
+            self._m_path_settlements.labels(
+                str(self.isd_as), "cleared" if result["winners"] else "unsold"
+            ).inc()
+        trace = current_trace()
+        if trace is not None:
+            trace.event(
+                "path_auction.settle",
+                path_auction=path_auction,
+                num_legs=len(result["legs"]),
+                winners=len(result["winners"]),
+                proceeds_mist=result["proceeds_mist"],
+                clearing_prices_micromist=result["clearing_prices_micromist"],
+            )
+        return record
 
     # -- redemption handling -------------------------------------------------------
 

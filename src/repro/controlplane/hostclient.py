@@ -42,6 +42,7 @@ from repro.marketdata import (
     PathSpec,
     PurchasePlanner,
 )
+from repro.pathadm import path_escrow_mist
 from repro.scion.addresses import IsdAs
 from repro.scion.paths import AsCrossing
 from repro.telemetry import get_registry
@@ -55,6 +56,7 @@ __all__ = [
     "HostClient",
     "IncompatibleGranularity",
     "ListingNotFound",
+    "PathBidSettlement",
     "PurchasePlan",
     "ResolvedHop",
     "plan_from_quote",
@@ -167,6 +169,26 @@ class BidSettlement:
 
 
 @dataclass(frozen=True)
+class PathBidSettlement:
+    """This host's aggregate outcome in one settled **path** auction.
+
+    ``assets`` lists the bandwidth-split pieces in leg (path) order — one
+    per leg when the bid won, pairable for :meth:`HostClient.redeem_path`
+    — and ``paid_mist`` sums the per-leg clearing-price charges.  Losers
+    see their whole escrow back in ``refund_mist``.
+    """
+
+    path_auction: str
+    won: bool
+    bandwidth_kbps: int
+    paid_mist: int
+    refund_mist: int
+    clearing_prices_micromist: tuple[int, ...]
+    assets: tuple[str, ...] = ()
+    reasons: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
 class AcquireOutcome:
     """What :meth:`HostClient.acquire` did: bid into an auction or buy posted.
 
@@ -203,6 +225,11 @@ class HostClient:
         self._auction_cursor: dict[str, int] = {}
         self._open_auctions: dict[str, dict[str, dict]] = {}
         self._auction_results: dict[str, dict[str, dict]] = {}
+        # Combinatorial path auctions, same event-driven shape: open shells
+        # grow legs as PathLegContributed events arrive.
+        self._path_cursor: dict[str, int] = {}
+        self._open_path_auctions: dict[str, dict[str, dict]] = {}
+        self._path_results: dict[str, dict[str, dict]] = {}
         registry = get_registry()
         self._telemetry = registry.enabled
         self._m_acquire = registry.counter(
@@ -718,6 +745,344 @@ class HostClient:
             mode="bought",
             submitted=submitted,
             reference=found.listing.listing_id,
+            price_mist=price,
+        )
+
+    # -- combinatorial path auctions ------------------------------------------------
+
+    def _scan_path_auctions(self, marketplace: str) -> None:
+        """Fold new path-auction events into the local view."""
+        ledger = self.executor.ledger
+        cursor = self._path_cursor.get(marketplace, 0)
+        open_books = self._open_path_auctions.setdefault(marketplace, {})
+        results = self._path_results.setdefault(marketplace, {})
+        for event in ledger.events_since(cursor):
+            payload = event.payload
+            if payload.get("marketplace") != marketplace:
+                continue
+            if event.event_type == "PathAuctionOpened":
+                open_books[payload["path_auction"]] = {
+                    "path_auction": payload["path_auction"],
+                    "num_legs": payload["num_legs"],
+                    "legs": {},
+                }
+            elif event.event_type == "PathLegContributed":
+                book = open_books.get(payload["path_auction"])
+                if book is not None:
+                    book["legs"][payload["leg_index"]] = payload
+            elif event.event_type == "PathAuctionSettled":
+                open_books.pop(payload["path_auction"], None)
+                results[payload["path_auction"]] = payload
+        self._path_cursor[marketplace] = ledger.checkpoint
+
+    def open_path_auctions(self, marketplace: str) -> list[dict]:
+        """Every path auction currently open on the marketplace.
+
+        Returns:
+            One dict per open shell (arrival order) with ``num_legs`` and
+            the ``legs`` contributed so far (``PathLegContributed``
+            snapshots keyed by leg index).  Bidding is possible once
+            ``len(legs) == num_legs``.
+        """
+        self._scan_path_auctions(marketplace)
+        return list(self._open_path_auctions[marketplace].values())
+
+    def find_path_auction(
+        self,
+        marketplace: str,
+        crossings: list[AsCrossing],
+        start: int,
+        expiry: int,
+        bandwidth_kbps: int,
+    ) -> dict | None:
+        """The fully contributed path auction covering these crossings.
+
+        A path auction covers a request when its legs, in path order, are
+        exactly the crossings' interface directions — ``(ingress, True)``
+        then ``(egress, False)`` per crossing — every leg's window
+        contains ``[start, expiry)``, and the wanted bandwidth fits every
+        leg's ``[minimum, total]`` range.  Earliest open auction wins when
+        several cover (deterministic).
+        """
+        wanted = [
+            (crossing.isd_as, interface, is_ingress)
+            for crossing in crossings
+            for interface, is_ingress in (
+                (crossing.ingress, True),
+                (crossing.egress, False),
+            )
+        ]
+        for book in self.open_path_auctions(marketplace):
+            if book["num_legs"] != len(wanted):
+                continue
+            legs = [book["legs"].get(index) for index in range(book["num_legs"])]
+            if any(leg is None for leg in legs):
+                continue
+            if all(
+                (leg["isd"], leg["asn"]) == (isd_as.isd, isd_as.asn)
+                and leg["interface"] == interface
+                and leg["is_ingress"] == is_ingress
+                and leg["start"] <= start
+                and expiry <= leg["expiry"]
+                and leg["min_bandwidth_kbps"]
+                <= bandwidth_kbps
+                <= leg["bandwidth_kbps"]
+                for leg, (isd_as, interface, is_ingress) in zip(legs, wanted)
+            ):
+                return book
+        return None
+
+    def place_path_bid(
+        self,
+        marketplace: str,
+        path_auction: str,
+        bandwidth_kbps: int,
+        max_price_mist: int,
+    ) -> SubmittedTransaction:
+        """One combinatorial bid: ``bandwidth_kbps`` on every leg, all-or-nothing.
+
+        ``max_price_mist`` is the bidder's total willingness to pay for
+        the whole path over the full auction window; it converts to the
+        contract's per-leg unit price by flooring against ``bandwidth *
+        duration * num_legs`` units, so the escrow
+        (:func:`repro.pathadm.path_escrow_mist`) can never exceed the
+        stated maximum.  One escrow covers every leg; settlement awards
+        pieces of all legs or refunds everything.
+
+        Raises:
+            RuntimeError: the client was never funded.
+            ValueError: unknown/unready path auction, or a budget whose
+                floored unit price falls below some leg's reserve (the bid
+                could only lock its escrow and lose path-wide).
+        """
+        if self.payment_coin is None:
+            raise RuntimeError("fund() the client before bidding")
+        self._scan_path_auctions(marketplace)
+        book = self._open_path_auctions.get(marketplace, {}).get(path_auction)
+        if book is None:
+            raise ValueError(f"path auction {path_auction[:8]}... is not open")
+        legs = [book["legs"].get(index) for index in range(book["num_legs"])]
+        if any(leg is None for leg in legs):
+            raise ValueError(
+                f"path auction {path_auction[:8]}... is not fully contributed"
+            )
+        duration = legs[0]["expiry"] - legs[0]["start"]
+        units = bandwidth_kbps * duration * len(legs)
+        unit_price = max_price_mist * 1_000_000 // units
+        highest_reserve = max(leg["reserve_micromist_per_unit"] for leg in legs)
+        if unit_price < highest_reserve:
+            # Knowable client-side: below any leg's reserve the bid loses
+            # path-wide, locking its escrow until settle for nothing.
+            raise ValueError(
+                f"budget {max_price_mist} MIST prices {unit_price} "
+                f"micromist/unit per leg, below the dearest leg reserve of "
+                f"{highest_reserve}"
+            )
+        escrow_mist = path_escrow_mist(
+            bandwidth_kbps, duration, int(unit_price), len(legs)
+        )
+        if self._coin_balance(self.payment_coin) < escrow_mist:
+            self.consolidate_coins()
+        return self.executor.submit(
+            Transaction(
+                sender=self.account.address,
+                commands=[
+                    Command(
+                        "market",
+                        "place_path_bid",
+                        {
+                            "marketplace": marketplace,
+                            "path_auction": path_auction,
+                            "bandwidth_kbps": bandwidth_kbps,
+                            "price_micromist_per_unit": int(unit_price),
+                            "payment": self.payment_coin,
+                        },
+                    )
+                ],
+            )
+        )
+
+    def await_path_settle(
+        self, marketplace: str, path_auction: str
+    ) -> PathBidSettlement | None:
+        """This host's outcome in a path auction, once it settles.
+
+        Returns:
+            ``None`` while the auction is still open, else a
+            :class:`PathBidSettlement` — a winner's ``assets`` hold one
+            piece per leg in path order, ready for :meth:`redeem_path`.
+        """
+        self._scan_path_auctions(marketplace)
+        payload = self._path_results.get(marketplace, {}).get(path_auction)
+        if payload is None:
+            return None
+        mine = self.account.address
+        won_bw = paid = refund = 0
+        assets: list[str] = []
+        reasons: list[str] = []
+        for winner in payload["winners"]:
+            if winner["bidder"] != mine:
+                continue
+            won_bw += winner["bandwidth_kbps"]
+            paid += winner["paid_mist"]
+            refund += winner["refund_mist"]
+            assets.extend(winner["assets"])
+        for loser in payload["losers"]:
+            if loser["bidder"] != mine:
+                continue
+            refund += loser["refund_mist"]
+            reasons.append(loser["reason"])
+        settlement = PathBidSettlement(
+            path_auction=path_auction,
+            won=bool(assets),
+            bandwidth_kbps=won_bw,
+            paid_mist=paid,
+            refund_mist=refund,
+            clearing_prices_micromist=tuple(payload["clearing_prices_micromist"]),
+            assets=tuple(assets),
+            reasons=tuple(reasons),
+        )
+        if self._telemetry and path_auction not in self._counted_settles:
+            self._counted_settles.add(path_auction)
+            self._m_settle_results.labels(
+                "won" if settlement.won else "lost"
+            ).inc()
+            if refund:
+                self._m_refunds.inc(refund)
+        trace = current_trace()
+        if trace is not None:
+            trace.event(
+                "path_bid.settled",
+                path_auction=path_auction,
+                won=settlement.won,
+                bandwidth_kbps=won_bw,
+                paid_mist=paid,
+                refund_mist=refund,
+            )
+        return settlement
+
+    def redeem_path(
+        self, asset_pairs: list[tuple[str, str]]
+    ) -> SubmittedTransaction:
+        """Redeem a whole path's (ingress, egress) asset pairs atomically.
+
+        One transaction holding a redeem per AS crossing — the redemption
+        path for path-auction winnings (a winner's
+        :attr:`PathBidSettlement.assets` in leg order pair up as
+        ``(assets[0], assets[1]), (assets[2], assets[3]), ...``).  If any
+        pair is incompatible the whole transaction aborts and no redeem
+        request reaches any AS.
+
+        Returns:
+            The submitted transaction; ``returns[i]["request"]`` names the
+            i-th crossing's redeem request.
+        """
+        ephemeral = KeyPair.generate(self.rng)
+        self._ephemeral_keys.append(ephemeral)
+        submitted = self.executor.submit(
+            Transaction(
+                sender=self.account.address,
+                commands=[
+                    Command(
+                        "asset",
+                        "redeem",
+                        {
+                            "ingress": ingress_asset,
+                            "egress": egress_asset,
+                            "public_key": ephemeral.public.to_bytes(256, "big"),
+                        },
+                    )
+                    for ingress_asset, egress_asset in asset_pairs
+                ],
+            )
+        )
+        trace = current_trace()
+        if trace is not None:
+            trace.event(
+                "path.redeem",
+                pairs=len(asset_pairs),
+                status=submitted.effects.status,
+            )
+        return submitted
+
+    def acquire_path(
+        self,
+        marketplace: str,
+        crossings: list[AsCrossing],
+        start: int,
+        expiry: int,
+        bandwidth_kbps: int,
+        max_price_mist: int,
+        flex_start: int = 0,
+    ) -> AcquireOutcome:
+        """Bid into a covering path auction, or buy posted hop listings.
+
+        The path-level acquisition front door: when a fully contributed
+        path auction covers every crossing, one combinatorial bid worth up
+        to ``max_price_mist`` goes in (``mode="path_bid"`` — await its
+        settlement, then :meth:`redeem_path`).  Otherwise the planner's
+        posted-price machinery takes over: the cheapest covering quote is
+        bought and redeemed atomically, guarded by the same
+        ``max_price_mist`` repricing rule as
+        :meth:`atomic_buy_and_redeem` (``mode="bought"``).
+
+        Raises:
+            RuntimeError: the client was never funded.
+            ListingNotFound: no path auction *and* no posted quote covers.
+            BudgetExceeded: the posted cover reprices over the budget.
+        """
+        if self.payment_coin is None:
+            raise RuntimeError("fund() the client before acquiring")
+        book = self.find_path_auction(
+            marketplace, crossings, start, expiry, bandwidth_kbps
+        )
+        trace = current_trace()
+        if book is not None:
+            submitted = self.place_path_bid(
+                marketplace, book["path_auction"], bandwidth_kbps, max_price_mist
+            )
+            if self._telemetry:
+                self._m_acquire.labels("path_bid").inc()
+            if trace is not None:
+                trace.event(
+                    "path_bid.placed",
+                    path_auction=book["path_auction"],
+                    bandwidth_kbps=bandwidth_kbps,
+                    max_price_mist=max_price_mist,
+                )
+            return AcquireOutcome(
+                mode="path_bid", submitted=submitted, reference=book["path_auction"]
+            )
+        spec = PathSpec.from_crossings(
+            crossings,
+            start,
+            expiry,
+            bandwidth_kbps,
+            flex_start=flex_start,
+            budget_mist=max_price_mist,
+        )
+        plan = self.plan_path(marketplace, spec)
+        submitted = self.atomic_buy_and_redeem(
+            marketplace, plan, max_price_mist=max_price_mist
+        )
+        price = 0
+        if submitted.effects.ok:
+            price = sum(
+                ret.get("price_mist", 0) for ret in submitted.effects.returns
+            )
+        if self._telemetry:
+            self._m_acquire.labels("path_bought").inc()
+        if trace is not None:
+            trace.event(
+                "path.bought",
+                hops=len(plan.hops),
+                price_mist=price,
+                bandwidth_kbps=bandwidth_kbps,
+            )
+        return AcquireOutcome(
+            mode="bought",
+            submitted=submitted,
+            reference=plan.hops[0].ingress_listing if plan.hops else "",
             price_mist=price,
         )
 

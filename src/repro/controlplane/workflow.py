@@ -20,13 +20,15 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.admission import ACTIVE
 from repro.clock import Clock, SimClock
 from repro.contracts.asset import AssetContract
 from repro.contracts.coin import CoinContract
 from repro.contracts.market import MarketContract
-from repro.controlplane.asclient import AsService
+from repro.controlplane.asclient import AsService, PathSettlementRecord
 from repro.controlplane.hostclient import HostClient, plan_from_quote
 from repro.controlplane.pki import CpPki
+from repro.pathadm import PathAdmission, PathHop
 from repro.marketdata import MarketIndexer, PathSpec, PurchasePlanner
 from repro.crypto.prf import DEFAULT_PRF_FACTORY, PrfFactory
 from repro.hummingbird.reservation import FlyoverReservation
@@ -104,6 +106,28 @@ class MarketDeployment:
         host.fund(sui_to_mist(funding_sui))
         host.attach_indexer(self.marketplace, self.indexer)
         return host
+
+    def path_admission(self, crossings: list[AsCrossing]) -> PathAdmission:
+        """Atomic path-wide admission over the on-path ASes' controllers.
+
+        Each hop wraps one AS's live
+        :class:`~repro.admission.AdmissionController` (whatever policy,
+        pricer, calendar sharding, and allocation mode that AS runs), so a
+        :meth:`~repro.pathadm.PathAdmission.screen` here checks and
+        provisionally holds the real per-AS calendars and a rollback
+        restores them byte-identically.
+        """
+        return PathAdmission(
+            [
+                PathHop(
+                    name=str(crossing.isd_as),
+                    controller=self.service(crossing.isd_as).admission,
+                    ingress_interface=crossing.ingress,
+                    egress_interface=crossing.egress,
+                )
+                for crossing in crossings
+            ]
+        )
 
 
 def deploy_market(
@@ -251,6 +275,24 @@ def purchase_path(
         budget_mist=max_price_mist,
     )
     quote = deployment.planner.best(spec)
+    # Pre-flight the quoted window through atomic path-wide admission:
+    # every hop's live active calendar is checked and provisionally held,
+    # then released again — a mid-path infeasibility (an AS's delivered
+    # load already saturates an interface) aborts here, before any money
+    # moves, instead of surfacing as a failed delivery after purchase.
+    admission = deployment.path_admission(crossings)
+    preflight = admission.screen(
+        bandwidth_kbps,
+        quote.start,
+        quote.expiry,
+        tag=host.account.address,
+        layer=ACTIVE,
+    )
+    if not preflight.admitted:
+        raise RuntimeError(
+            f"path admission pre-flight rejected: {preflight.reason}"
+        )
+    admission.rollback(preflight)
     plan = plan_from_quote(quote)
     submitted = host.atomic_buy_and_redeem(
         deployment.marketplace, plan, max_price_mist=max_price_mist
@@ -283,4 +325,100 @@ def purchase_path(
         gas=submitted.effects.gas,
         estimated_price_mist=plan.estimated_price_mist,
         quote=quote,
+    )
+
+
+@dataclass
+class PathAuctionHandle:
+    """One open combinatorial path auction and who contributed its legs.
+
+    ``legs`` holds ``(service, leg_index, interface, is_ingress)`` in path
+    order — the bookkeeping :func:`settle_path_auction` needs to collect
+    every leg's live supply from its own AS.
+    """
+
+    path_auction: str
+    marketplace: str
+    crossings: list[AsCrossing]
+    legs: list[tuple[AsService, int, int, bool]]
+
+
+def open_path_auction(
+    deployment: MarketDeployment,
+    crossings: list[AsCrossing],
+    start: int,
+    expiry: int,
+    bandwidth_kbps: int,
+    base_price_micromist: int = DEFAULT_PRICE_MICROMIST,
+    granularity: int = 60,
+    min_bandwidth_kbps: int = 100,
+) -> PathAuctionHandle:
+    """Open one combinatorial path auction across a list of AS crossings.
+
+    The first crossing's AS creates the shell (any leg seller may); then
+    every on-path AS contributes its own two legs — ``(ingress, True)``
+    and ``(egress, False)`` — each one admission-checked against that AS's
+    issued calendar and reserve-priced by its own scarcity quote.
+
+    Raises:
+        RuntimeError: the ledger refused the shell or a contribution.
+        AdmissionRejected: some AS's calendar cannot cover its leg.
+    """
+    creator = deployment.service(crossings[0].isd_as)
+    opened = creator.open_path_auction(deployment.marketplace, 2 * len(crossings))
+    if not opened.effects.ok:
+        raise RuntimeError(f"path auction creation failed: {opened.effects.error}")
+    path_auction = opened.effects.returns[0]["path_auction"]
+    legs: list[tuple[AsService, int, int, bool]] = []
+    index = 0
+    for crossing in crossings:
+        service = deployment.service(crossing.isd_as)
+        for interface, is_ingress in (
+            (crossing.ingress, True),
+            (crossing.egress, False),
+        ):
+            contributed = service.contribute_path_leg(
+                deployment.marketplace,
+                path_auction,
+                index,
+                interface,
+                is_ingress,
+                bandwidth_kbps,
+                start,
+                expiry,
+                base_price_micromist,
+                granularity,
+                min_bandwidth_kbps,
+            )
+            if not contributed.effects.ok:
+                raise RuntimeError(
+                    f"leg {index} contribution failed: {contributed.effects.error}"
+                )
+            legs.append((service, index, interface, is_ingress))
+            index += 1
+    return PathAuctionHandle(
+        path_auction=path_auction,
+        marketplace=deployment.marketplace,
+        crossings=list(crossings),
+        legs=legs,
+    )
+
+
+def settle_path_auction(
+    deployment: MarketDeployment, handle: PathAuctionHandle
+) -> PathSettlementRecord:
+    """Settle a path auction at every leg's live supply, all-or-nothing.
+
+    Each on-path AS reports its own legs' sellable bandwidth (offered
+    bandwidth clamped by live active-calendar headroom); the first leg's
+    AS then submits the single settle transaction that clears the
+    combinatorial book, awards pieces of every leg to the path winners,
+    refunds everyone else, pays each leg seller, and relists remainders.
+    """
+    supplies = [
+        service.path_leg_supply(handle.path_auction, leg_index)
+        for service, leg_index, _, _ in handle.legs
+    ]
+    return handle.legs[0][0].settle_path_auction(
+        handle.marketplace, handle.path_auction, supplies
     )

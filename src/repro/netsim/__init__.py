@@ -13,6 +13,8 @@ from repro.netsim.scenarios import (
     ContentionResult,
     FlexBuyerOutcome,
     FlexMarketResult,
+    PathBuyerOutcome,
+    PathContentionResult,
     PathSimulation,
     auction_experiment,
     build_path_simulation,
@@ -20,6 +22,7 @@ from repro.netsim.scenarios import (
     contention_experiment,
     flex_market_experiment,
     linear_path,
+    path_contention_experiment,
 )
 from repro.netsim.traffic import CbrSource, FloodSource, OnOffSource, ReplayAttacker
 
@@ -39,6 +42,8 @@ __all__ = [
     "ContentionResult",
     "FlexBuyerOutcome",
     "FlexMarketResult",
+    "PathBuyerOutcome",
+    "PathContentionResult",
     "PathSimulation",
     "auction_experiment",
     "build_path_simulation",
@@ -46,6 +51,7 @@ __all__ = [
     "contention_experiment",
     "flex_market_experiment",
     "linear_path",
+    "path_contention_experiment",
     "CbrSource",
     "FloodSource",
     "OnOffSource",

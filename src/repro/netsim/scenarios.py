@@ -1068,6 +1068,372 @@ def _traced_reservation_lifecycle(
         )
 
 
+@dataclass
+class PathBuyerOutcome:
+    """One buyer's fate in :func:`path_contention_experiment`."""
+
+    buyer: str
+    requested_kbps: int
+    admitted: bool
+    failed_hop: int | None
+    reason: str
+
+
+@dataclass
+class PathContentionResult:
+    """Outcome of :func:`path_contention_experiment`.
+
+    ``rollback_restores_state`` is the atomicity verdict: after a screen
+    rejected mid-path *and* a commit whose per-hop effect hook failed
+    mid-path, every hop's calendars fingerprinted byte-identical to the
+    pre-probe state.  ``escrow_conserved`` checks the ledger companion's
+    combinatorial settlement: awards plus refunds equal the escrows taken.
+    """
+
+    buyers: list[PathBuyerOutcome]
+    hop_names: list[str]
+    hop_capacities_kbps: list[int]
+    hop_peaks_kbps: list[int]
+    hop_modes: list[str]
+    rollback_restores_state: bool
+    escrow_conserved: bool
+    path_auction_winners: int
+
+    @property
+    def admitted(self) -> list[PathBuyerOutcome]:
+        return [b for b in self.buyers if b.admitted]
+
+    @property
+    def rejected(self) -> list[PathBuyerOutcome]:
+        return [b for b in self.buyers if not b.admitted]
+
+    @property
+    def oversold(self) -> bool:
+        """Did any hop commit more than its physical capacity?"""
+        return any(
+            peak > capacity
+            for peak, capacity in zip(self.hop_peaks_kbps, self.hop_capacities_kbps)
+        )
+
+
+def path_contention_experiment(
+    topology: Topology,
+    path: ForwardingPath,
+    num_buyers: int = 8,
+    per_buyer_kbps: int = 2000,
+    window_seconds: int = 600,
+    base_price_micromist: int = 50,
+    seed: int = 1,
+    telemetry: ExperimentTelemetry | None = None,
+) -> PathContentionResult:
+    """Whole paths contend for a mid-path bottleneck, admitted atomically.
+
+    Every buyer wants ``per_buyer_kbps`` across **all** hops of the path
+    or nothing.  Each on-path AS runs a deliberately different admission
+    stack — monolithic first-come-first-served posted pricing, a
+    time-sharded proportional-share calendar (the capacity bottleneck),
+    and an auction-mode interface with scarcity quotes — and
+    :class:`~repro.pathadm.PathAdmission` coordinates them through the
+    two-phase screen -> commit protocol: every hop checked and
+    provisionally held, then committed all-or-nothing.
+
+    The experiment then probes the failure paths directly: a screen that
+    must die at the bottleneck and a commit whose per-hop effect hook
+    raises mid-path, asserting (via calendar fingerprints) that rollback
+    left every upstream hop byte-identical to never-touched.
+
+    A ledger-backed companion runs the same path through the *on-chain*
+    machinery — one combinatorial path auction over every leg, two
+    competing escrowed path bids, all-or-nothing settlement, atomic
+    path-wide redemption, per-AS sealed deliveries — checking that the
+    settlement conserved escrow to the MIST.  With ``telemetry`` the whole
+    lifecycle (screen -> per-hop admits -> commit -> settle -> redeem ->
+    release) lands on a single trace id.
+    """
+    if telemetry is not None:
+        with telemetry.activate():
+            return _path_contention_experiment_impl(
+                topology, path, num_buyers, per_buyer_kbps, window_seconds,
+                base_price_micromist, seed, telemetry,
+            )
+    return _path_contention_experiment_impl(
+        topology, path, num_buyers, per_buyer_kbps, window_seconds,
+        base_price_micromist, seed, None,
+    )
+
+
+def _path_contention_experiment_impl(
+    topology: Topology,
+    path: ForwardingPath,
+    num_buyers: int,
+    per_buyer_kbps: int,
+    window_seconds: int,
+    base_price_micromist: int,
+    seed: int,
+    telemetry: ExperimentTelemetry | None,
+) -> PathContentionResult:
+    from repro.admission import (
+        ACTIVE,
+        AdmissionController,
+        FirstComeFirstServed,
+        ProportionalShare,
+        ScarcityPricer,
+    )
+    from repro.pathadm import (
+        PathAdmission,
+        PathCommitError,
+        PathHop,
+        controller_fingerprint,
+    )
+
+    crossings = as_crossings(path)
+    if len(crossings) < 3:
+        raise ValueError("path contention needs at least three on-path ASes")
+    # Bottleneck sized so roughly half the buyers fit, plus headroom for
+    # the small rollback probe; the other hops are never the constraint.
+    slots = (num_buyers + 1) // 2
+    probe_kbps = max(per_buyer_kbps // 2, 1)
+    bottleneck_capacity = slots * per_buyer_kbps + probe_kbps
+    wide_capacity = 2 * num_buyers * per_buyer_kbps
+    # One allocation stack per AS: the heterogeneity the protocol must
+    # coordinate without caring what runs behind each hop.
+    configs = [
+        ("posted/fcfs/monolithic", AdmissionController(
+            wide_capacity, policy=FirstComeFirstServed(),
+        )),
+        ("posted/proportional/sharded", AdmissionController(
+            bottleneck_capacity,
+            policy=ProportionalShare(0.5),
+            shard_seconds=float(window_seconds),
+        )),
+        ("auction/scarcity/monolithic", AdmissionController(
+            wide_capacity, pricer=ScarcityPricer(), auction_interfaces=True,
+        )),
+    ]
+    hops = []
+    hop_modes = []
+    for index, crossing in enumerate(crossings):
+        mode, controller = configs[index % len(configs)]
+        hop_modes.append(mode)
+        hops.append(
+            PathHop(
+                name=str(crossing.isd_as),
+                controller=controller,
+                ingress_interface=crossing.ingress,
+                egress_interface=crossing.egress,
+            )
+        )
+    admission = PathAdmission(hops)
+
+    start = 1_700_000_000
+    window_end = start + window_seconds
+    outcomes: list[PathBuyerOutcome] = []
+    for index in range(num_buyers):
+        buyer = f"buyer-{index}"
+        trace = telemetry.trace(buyer) if telemetry and index == 0 else None
+        with use_trace(trace):
+            ticket = admission.screen(
+                per_buyer_kbps, start, window_end, tag=buyer, layer=ACTIVE
+            )
+            if ticket.admitted:
+                admission.commit(ticket)
+        outcomes.append(
+            PathBuyerOutcome(
+                buyer=buyer,
+                requested_kbps=per_buyer_kbps,
+                admitted=ticket.admitted,
+                failed_hop=ticket.failed_hop,
+                reason=ticket.reason,
+            )
+        )
+
+    # -- atomicity probes: both failure paths must be invisible afterwards --
+    baseline = [controller_fingerprint(hop.controller) for hop in hops]
+    rejected_probe = admission.screen(
+        wide_capacity, start, window_end, tag="oversized-probe", layer=ACTIVE
+    )
+    restored_after_reject = (
+        not rejected_probe.admitted
+        and [controller_fingerprint(hop.controller) for hop in hops] == baseline
+    )
+    probe = admission.screen(
+        probe_kbps, start, window_end, tag="commit-probe", layer=ACTIVE
+    )
+    restored_after_commit_fail = False
+    if probe.admitted:
+        fail_at = len(hops) - 1
+
+        def failing_hook(index, hop, hold):
+            if index == fail_at:
+                raise RuntimeError("downstream settlement refused")
+
+        try:
+            admission.commit(probe, hook=failing_hook)
+        except PathCommitError:
+            restored_after_commit_fail = (
+                [controller_fingerprint(hop.controller) for hop in hops]
+                == baseline
+            )
+
+    hop_peaks = []
+    for hop in hops:
+        hop_peaks.append(
+            int(
+                max(
+                    hop.controller.calendar(interface, is_ingress, ACTIVE)
+                    .peak_commitment(start, window_end)
+                    for interface, is_ingress in hop.claims
+                )
+            )
+        )
+
+    escrow_conserved, winners = _traced_path_lifecycle(
+        telemetry, topology, crossings, per_buyer_kbps, base_price_micromist, seed
+    )
+
+    result = PathContentionResult(
+        buyers=outcomes,
+        hop_names=[hop.name for hop in hops],
+        hop_capacities_kbps=[
+            int(hop.controller.capacity_kbps(hop.ingress_interface, True))
+            for hop in hops
+        ],
+        hop_peaks_kbps=hop_peaks,
+        hop_modes=hop_modes,
+        rollback_restores_state=(
+            restored_after_reject and restored_after_commit_fail
+        ),
+        escrow_conserved=escrow_conserved,
+        path_auction_winners=winners,
+    )
+    if telemetry is not None:
+        for hop in hops:
+            hop.controller.record_capacity_gauges(
+                start, window_end, owner=f"path-hop-{hop.name}"
+            )
+        telemetry.annotate(
+            path_contention={
+                "hops": len(hops),
+                "hop_modes": hop_modes,
+                "admitted": len(result.admitted),
+                "rejected": len(result.rejected),
+                "oversold": result.oversold,
+                "rollback_restores_state": result.rollback_restores_state,
+                "escrow_conserved": result.escrow_conserved,
+                "path_auction_winners": result.path_auction_winners,
+            }
+        )
+    return result
+
+
+def _traced_path_lifecycle(
+    telemetry: ExperimentTelemetry | None,
+    topology: Topology,
+    crossings,
+    bandwidth_kbps: int,
+    base_price_micromist: int,
+    seed: int,
+) -> tuple[bool, int]:
+    """One path reservation, one correlation id, the whole on-chain story.
+
+    Every on-path AS contributes its two legs into a single combinatorial
+    path auction; two hosts place escrowed path bids (the richer one via
+    :meth:`~repro.controlplane.HostClient.acquire_path`); a path-wide
+    screen -> commit holds every hop's calendar while the auction settles
+    all-or-nothing and the winner redeems every (ingress, egress) pair in
+    one atomic transaction; each AS admits and delivers its sealed
+    reservation, after which the provisional path hold is released in
+    favour of the delivered reservations.  Returns ``(escrow conserved,
+    number of path winners)``.
+    """
+    from repro.admission import ACTIVE
+    from repro.controlplane import (
+        deploy_market,
+        open_path_auction,
+        settle_path_auction,
+    )
+
+    t0 = 1_700_000_000
+    window = (t0 + 3600, t0 + 4200)
+    duration = window[1] - window[0]
+    clock = SimClock(float(t0))
+    trace = telemetry.trace("traced-path") if telemetry else None
+    with use_trace(trace):
+        deployment = deploy_market(
+            topology,
+            clock=clock,
+            seed=seed,
+            asset_start=t0,
+            asset_duration=3600,
+            asset_bandwidth_kbps=4 * bandwidth_kbps,
+            interface_capacity_kbps=8 * bandwidth_kbps,
+        )
+        handle = open_path_auction(
+            deployment,
+            crossings,
+            *window,
+            bandwidth_kbps=2 * bandwidth_kbps,
+            base_price_micromist=base_price_micromist,
+        )
+        winner = deployment.new_host(name="path-winner")
+        rival = deployment.new_host(name="path-rival")
+        num_legs = 2 * len(crossings)
+        escrow_cap = (
+            -(-bandwidth_kbps * duration * 40 * base_price_micromist // 1_000_000)
+            * num_legs
+        )
+        acquired = winner.acquire_path(
+            deployment.marketplace,
+            crossings,
+            *window,
+            bandwidth_kbps=bandwidth_kbps,
+            max_price_mist=escrow_cap,
+        )
+        if acquired.mode != "path_bid":  # pragma: no cover - auction covers
+            raise RuntimeError("path auction should have covered the spec")
+        rival.place_path_bid(
+            deployment.marketplace,
+            handle.path_auction,
+            2 * bandwidth_kbps,
+            escrow_cap // 8,
+        )
+        # Path-wide provisional hold across every hop's live calendar,
+        # kept through settlement and redemption, released once the
+        # delivered reservations own the capacity.
+        admission = deployment.path_admission(crossings)
+        hold = admission.screen(
+            bandwidth_kbps, *window, tag=winner.account.address, layer=ACTIVE
+        )
+        if not hold.admitted:  # pragma: no cover - capacity is ample
+            raise RuntimeError(f"path hold rejected: {hold.reason}")
+        admission.commit(hold)
+        clock.set(float(window[0]))
+        settle_path_auction(deployment, handle)
+        settlement = winner.await_path_settle(
+            deployment.marketplace, handle.path_auction
+        )
+        if settlement is None or not settlement.won:  # pragma: no cover
+            raise RuntimeError("the funded path bid should have won")
+        pairs = list(zip(settlement.assets[0::2], settlement.assets[1::2]))
+        winner.redeem_path(pairs)
+        for crossing in crossings:
+            deployment.service(crossing.isd_as).poll_and_deliver()
+        winner.collect_reservations()
+        admission.rollback(hold)
+        # Escrow conservation, straight from the event stream: everything
+        # escrowed at bid time came back as awards plus refunds.
+        placed = deployment.ledger.events_since(0, "PathBidPlaced")
+        settled = deployment.ledger.events_since(0, "PathAuctionSettled")
+        escrow_total = sum(event.payload["escrow_mist"] for event in placed)
+        payload = settled[0].payload
+        paid = sum(w["paid_mist"] for w in payload["winners"])
+        refunds = sum(w["refund_mist"] for w in payload["winners"]) + sum(
+            l["refund_mist"] for l in payload["losers"]
+        )
+        conserved = paid + refunds == escrow_total
+        return conserved, len(payload["winners"])
+
+
 def contention_experiment(
     topology: Topology,
     path: ForwardingPath,

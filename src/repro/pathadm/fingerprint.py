@@ -1,0 +1,125 @@
+"""Canonical calendar fingerprints: the byte-identical-rollback oracle.
+
+The two-phase path protocol promises that rolling a screened (or even
+committed) path back leaves every upstream calendar **byte-identical** to
+one that never saw the path at all.  "Byte-identical" is made precise
+here: a fingerprint canonicalizes every piece of *state* a calendar
+carries — step-function boundaries, levels, live commitments, tag index,
+and (for sharded calendars) the shard map, end-shard index, and piece
+projections — while excluding the two things that are *allocators or
+caches*, not state:
+
+* ``_ids`` — the monotonically increasing commitment-id counter.  It
+  advances on every commit and never rewinds; it decides nothing about
+  admission, pricing, or expiry, so two calendars that differ only in the
+  next id to hand out answer every query identically.
+* the lazily compiled numpy arrays behind ``bulk_peak`` (``_dirty`` /
+  ``_np_*``) — derived verbatim from ``_times``/``_levels`` on demand.
+
+Everything else is included, so a stray boundary, a leaked commitment, a
+stale tag-index entry, an undropped empty shard, or a dangling projection
+piece all change the fingerprint and fail the rollback property suite.
+"""
+
+from __future__ import annotations
+
+from repro.admission.calendar import CapacityCalendar
+from repro.admission.controller import AdmissionController
+from repro.admission.sharded import ShardedCalendar
+
+__all__ = [
+    "calendar_fingerprint",
+    "controller_fingerprint",
+]
+
+
+def _commitment_rows(commitments: dict) -> tuple:
+    return tuple(
+        sorted(
+            (cid, c.bandwidth_kbps, c.start, c.end, c.tag)
+            for cid, c in commitments.items()
+        )
+    )
+
+
+def _monolithic_fingerprint(calendar: CapacityCalendar) -> tuple:
+    return (
+        "monolithic",
+        calendar.capacity_kbps,
+        tuple(calendar._times),
+        tuple(calendar._levels),
+        _commitment_rows(calendar._commitments),
+        tuple(
+            sorted(
+                (tag, tuple(sorted(ids)))
+                for tag, ids in calendar._by_tag.items()
+            )
+        ),
+    )
+
+
+def _sharded_fingerprint(calendar: ShardedCalendar) -> tuple:
+    return (
+        "sharded",
+        calendar.capacity_kbps,
+        calendar.shard_seconds,
+        calendar.shards_dropped,
+        tuple(
+            sorted(
+                (key, _monolithic_fingerprint(shard))
+                for key, shard in calendar._shards.items()
+            )
+        ),
+        _commitment_rows(calendar._commitments),
+        tuple(
+            sorted(
+                (key, tuple(sorted(ids)))
+                for key, ids in calendar._by_end_shard.items()
+            )
+        ),
+        tuple(
+            sorted(
+                (cid, tuple((key, piece_id) for _, key, piece_id in pieces))
+                for cid, pieces in calendar._projections.items()
+            )
+        ),
+    )
+
+
+def calendar_fingerprint(calendar: CapacityCalendar | ShardedCalendar) -> tuple:
+    """Hashable canonical form of one calendar's complete state.
+
+    Two calendars with equal fingerprints answer every admission, peak,
+    headroom, tag-peak, and expiry query identically; only their next
+    commitment id (and compiled numpy caches) may differ.
+    """
+    if isinstance(calendar, ShardedCalendar):
+        return _sharded_fingerprint(calendar)
+    return _monolithic_fingerprint(calendar)
+
+
+def _is_pristine(fingerprint: tuple) -> bool:
+    if fingerprint[0] == "monolithic":
+        _, _, times, levels, commitments, by_tag = fingerprint
+        return len(times) == 1 and levels == (0,) and not commitments and not by_tag
+    _, _, _, dropped, shards, commitments, by_end, projections = fingerprint
+    return not (dropped or shards or commitments or by_end or projections)
+
+
+def controller_fingerprint(controller: AdmissionController) -> tuple:
+    """Fingerprint of every calendar a controller has materialized.
+
+    Calendars are created lazily, so a *rejected* admit materializes an
+    empty calendar without recording any state in it.  Pristine calendars
+    are therefore skipped: a controller whose only trace of a path is an
+    empty lazily-created calendar fingerprints identically to one that
+    never saw the path at all — which is exactly the rollback guarantee.
+    """
+    return tuple(
+        sorted(
+            (key, fingerprint)
+            for key, calendar in controller._calendars.items()
+            for fingerprint in [calendar_fingerprint(calendar)]
+            if not _is_pristine(fingerprint)
+        )
+    )

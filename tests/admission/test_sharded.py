@@ -180,6 +180,35 @@ class TestSurgery:
         calendar.release(fused.commitment_id)
         assert calendar.peak_commitment(0, 300) == 0
 
+    def test_fused_commitment_splits_again(self):
+        # Same-window fusion must stack the per-shard pieces too; a fused
+        # commitment whose inner pieces kept their pre-fusion bandwidth
+        # would reject a later split_bandwidth at the fused total.
+        calendar = sharded()
+        spanning = calendar.commit(300, 50, 250, tag="a")
+        thick, thin = calendar.split_bandwidth(spanning.commitment_id, 100)
+        fused = calendar.fuse(thick.commitment_id, thin.commitment_id)
+        head, tail = calendar.split_bandwidth(fused.commitment_id, 250)
+        assert (head.bandwidth_kbps, tail.bandwidth_kbps) == (50, 250)
+        assert calendar.peak_commitment(0, 300) == 300
+        calendar.release(tail.commitment_id)
+        assert calendar.peak_commitment(50, 250) == 50
+
+    def test_fuse_after_time_adjacent_fuse_inside_one_shard(self):
+        # A time-adjacent fuse can leave two chained pieces in one shard;
+        # a following same-window fuse has to coalesce each arm's chain
+        # before stacking.
+        calendar = sharded()
+        spanning = calendar.commit(300, 20, 60, tag="a")
+        first, second = calendar.split_time(spanning.commitment_id, 40.0)
+        rejoined = calendar.fuse(first.commitment_id, second.commitment_id)
+        thick, thin = calendar.split_bandwidth(rejoined.commitment_id, 100)
+        fused = calendar.fuse(thick.commitment_id, thin.commitment_id)
+        assert fused.bandwidth_kbps == 300
+        head, tail = calendar.split_bandwidth(fused.commitment_id, 200)
+        assert (head.bandwidth_kbps, tail.bandwidth_kbps) == (100, 200)
+        assert calendar.peak_commitment(0, 100) == 300
+
     def test_fuse_time_adjacent_relabels_second_tag(self):
         calendar = sharded()
         first = calendar.commit(300, 50, 150, tag="a")

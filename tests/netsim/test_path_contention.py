@@ -1,0 +1,53 @@
+"""Path-wide contention experiment: mixed per-AS policy, atomic rollback."""
+
+from repro.netsim import linear_path, path_contention_experiment
+from repro.telemetry import ExperimentTelemetry
+
+
+class TestPathContentionExperiment:
+    def test_no_hop_oversells_under_contention(self):
+        topology, path = linear_path(3)
+        result = path_contention_experiment(topology, path, num_buyers=8)
+        assert result.admitted and result.rejected
+        assert not result.oversold
+        for peak, capacity in zip(result.hop_peaks_kbps, result.hop_capacities_kbps):
+            assert peak <= capacity
+
+    def test_each_hop_runs_its_own_allocation_mode(self):
+        topology, path = linear_path(3)
+        result = path_contention_experiment(topology, path, num_buyers=6)
+        assert len(set(result.hop_modes)) == 3
+
+    def test_mid_path_failure_leaves_calendars_byte_identical(self):
+        topology, path = linear_path(3)
+        result = path_contention_experiment(topology, path, num_buyers=6)
+        assert result.rollback_restores_state
+
+    def test_path_auction_settles_and_conserves_escrow(self):
+        topology, path = linear_path(3)
+        result = path_contention_experiment(topology, path, num_buyers=6)
+        assert result.escrow_conserved
+        assert result.path_auction_winners == 1
+
+    def test_telemetry_captures_the_whole_lifecycle_in_one_trace(self):
+        topology, path = linear_path(3)
+        telemetry = ExperimentTelemetry("path_contention_experiment")
+        path_contention_experiment(topology, path, num_buyers=6, telemetry=telemetry)
+        snapshot = telemetry.to_dict()
+        traces = {trace["name"]: trace for trace in snapshot["traces"]}
+        assert "traced-path" in traces
+        names = set()
+        for span in traces["traced-path"]["spans"]:
+            names.add(span["name"])
+            names.update(event["name"] for event in span.get("events", []))
+        for expected in (
+            "path.screen",
+            "path.commit",
+            "path_bid.placed",
+            "path_auction.settle",
+            "path_bid.settled",
+            "path.redeem",
+            "path.rollback",
+        ):
+            assert expected in names, expected
+        assert snapshot["extra"]["path_contention"]["oversold"] is False

@@ -30,7 +30,7 @@ import numpy as np
 from repro.analysis import render_table, sparkline
 from repro.telemetry.registry import Histogram
 
-SCENARIOS = ("contention", "flex_market", "auction")
+SCENARIOS = ("contention", "flex_market", "auction", "path")
 
 
 def _labels_str(labelnames: list[str], labels: list[str]) -> str:
@@ -105,15 +105,26 @@ def _trace_sections(traces: list[dict[str, Any]]) -> list[str]:
             attrs = ", ".join(f"{k}={v}" for k, v in span.get("attrs", {}).items())
             if len(attrs) > 72:
                 attrs = attrs[:69] + "..."
+            duration = span.get("duration")
+            # Zero-duration spans are lifecycle events (path.commit,
+            # path_bid.settled, ...): mark them so the timed protocol
+            # phases stand out in the timeline.
             rows.append(
-                [f"+{span['start'] - origin:.4f}s", span["name"], attrs]
+                [
+                    f"+{span['start'] - origin:.4f}s",
+                    "·" if not duration else f"{duration * 1e3:.2f}ms",
+                    span["name"],
+                    attrs,
+                ]
             )
         timeline = sparkline([span["start"] - origin for span in spans], width=48)
         header = (
             f"## Trace {trace.get('trace_id', '?')} ({trace.get('name', '')}) "
             f"— {len(spans)} spans   {timeline}"
         )
-        sections.append(render_table(["offset", "span", "attributes"], rows, title=header))
+        sections.append(
+            render_table(["offset", "dur", "span", "attributes"], rows, title=header)
+        )
     return sections
 
 
@@ -137,6 +148,7 @@ def _run_scenario(name: str, duration: float, buyers: int):
         contention_experiment,
         flex_market_experiment,
         linear_path,
+        path_contention_experiment,
     )
     from repro.telemetry import ExperimentTelemetry
 
@@ -145,9 +157,12 @@ def _run_scenario(name: str, duration: float, buyers: int):
     if name == "contention":
         contention_experiment(topology, path, num_buyers=buyers, duration=duration, telemetry=telemetry)
     elif name == "flex_market":
-        flex_market_experiment(topology, path, num_probes=buyers, telemetry=telemetry)
+        # Builds its own chain topology; num_ases is the only shape knob.
+        flex_market_experiment(num_ases=3, duration=duration, telemetry=telemetry)
     elif name == "auction":
         auction_experiment(topology, path, num_buyers=buyers, duration=duration, telemetry=telemetry)
+    elif name == "path":
+        path_contention_experiment(topology, path, num_buyers=buyers, telemetry=telemetry)
     else:  # pragma: no cover - argparse restricts choices
         raise ValueError(f"unknown scenario {name!r}")
     return telemetry
