@@ -1,0 +1,214 @@
+"""Shard-engine throughput: multiprocess workers vs in-process sharding.
+
+Bulk-loads the same tracked reservation stream through the in-process
+:class:`ShardedCalendar` and through multiprocess engines with 1, 2 and
+4 workers, then probes each with a vectorized ``bulk_peak`` sweep.  The
+stream spans hundreds of shards, so the multiprocess backend can rebuild
+shard step-functions on all workers concurrently while the parent
+assembles the top-level commitment records.
+
+Floor (CI): >= 2x bulk ``commit_batch`` throughput at 4 workers vs the
+in-process sharded calendar.  Only enforced on machines with >= 4 CPU
+cores — with fewer cores the workers time-slice one core and the IPC
+overhead has nothing to amortize against, so the ratio measures the
+scheduler, not the engine.
+
+Usage: PYTHONPATH=src python benchmarks/bench_shard_engine.py
+   or: PYTHONPATH=src python benchmarks/bench_shard_engine.py --smoke
+"""
+
+import argparse
+import os
+import time
+
+import numpy as np
+
+try:
+    from benchmarks.conftest import bench_result, report, write_bench_json
+except ImportError:  # executed as a script from the benchmarks/ directory
+    from conftest import bench_result, report, write_bench_json
+
+from repro.admission import ShardedCalendar
+from repro.analysis import render_comparison
+from repro.shardengine import EngineSpec, build_engine
+
+SHARD_SECONDS = 300.0
+HORIZON = 86_400.0  # 288 shards: plenty of stripes for any worker count
+CAPACITY_KBPS = 10**9
+KEY = ("bench", 0, True)
+WORKER_COUNTS = (1, 2, 4)
+FLOOR_SPEEDUP = 2.0
+FLOOR_WORKERS = 4
+FLOOR_MIN_CPUS = 4
+
+FULL_ROWS = 1_000_000
+FULL_BATCH = 100_000
+SMOKE_ROWS = 20_000
+SMOKE_BATCH = 5_000
+PROBE_MULTIPLIER = 0.1  # bulk_peak probes per committed row
+
+
+def _workload(total_rows: int, seed: int = 42):
+    rng = np.random.default_rng(seed)
+    starts = rng.uniform(0.0, HORIZON - 3600.0, total_rows)
+    ends = starts + rng.uniform(30.0, 3600.0, total_rows)
+    bandwidths = rng.integers(1, 500, total_rows)
+    return bandwidths, starts, ends
+
+
+def _probes(total_rows: int, seed: int = 43):
+    rng = np.random.default_rng(seed)
+    count = max(1000, int(total_rows * PROBE_MULTIPLIER))
+    starts = rng.uniform(0.0, HORIZON - 7200.0, count)
+    return starts, starts + rng.uniform(60.0, 7200.0, count)
+
+
+def _load(calendar, workload, batch_rows: int) -> dict:
+    """Tracked commit_batch stream + bulk_peak sweep -> throughput dict."""
+    bandwidths, starts, ends = workload
+    began = time.perf_counter()
+    for cursor in range(0, starts.size, batch_rows):
+        chunk = slice(cursor, cursor + batch_rows)
+        calendar.commit_batch(
+            bandwidths[chunk], starts[chunk], ends[chunk], tag="bench"
+        )
+    commit_seconds = time.perf_counter() - began
+    probe_starts, probe_ends = _probes(starts.size)
+    began = time.perf_counter()
+    peaks = calendar.bulk_peak(probe_starts, probe_ends)
+    probe_seconds = time.perf_counter() - began
+    assert int(peaks.max()) > 0  # the load actually landed
+    return {
+        "commit_rows_per_sec": starts.size / commit_seconds,
+        "probe_windows_per_sec": probe_starts.size / probe_seconds,
+    }
+
+
+def shard_engine_comparison(total_rows: int, batch_rows: int):
+    """Run every backend over the same stream; returns (table_rows, metrics)."""
+    workload = _workload(total_rows)
+    metrics: dict[str, dict] = {}
+
+    calendar = ShardedCalendar(CAPACITY_KBPS, shard_seconds=SHARD_SECONDS)
+    metrics["in-process"] = _load(calendar, workload, batch_rows)
+
+    for workers in WORKER_COUNTS:
+        spec = EngineSpec(
+            kind="multiprocess",
+            shard_seconds=SHARD_SECONDS,
+            num_workers=workers,
+            # The bench measures steady-state load throughput, not
+            # recovery: keep snapshots out of the timed window.
+            checkpoint_ops=10**9,
+            checkpoint_rows=10**15,
+        )
+        engine = build_engine(spec)
+        try:
+            metrics[f"mp-{workers}"] = _load(
+                engine.calendar(KEY, CAPACITY_KBPS), workload, batch_rows
+            )
+        finally:
+            engine.close()
+
+    base = metrics["in-process"]["commit_rows_per_sec"]
+    rows = [
+        [
+            label,
+            f"{stats['commit_rows_per_sec']:,.0f}",
+            f"{stats['commit_rows_per_sec'] / base:.2f}x",
+            f"{stats['probe_windows_per_sec']:,.0f}",
+        ]
+        for label, stats in metrics.items()
+    ]
+    return rows, metrics
+
+
+def _render(rows, scale_note: str) -> str:
+    return render_comparison(
+        ["backend", "commit rows/s", "vs in-process", "bulk_peak windows/s"],
+        rows,
+        title=f"Shard-engine throughput {scale_note} — tracked commit_batch "
+        "stream + vectorized peak sweep",
+        note=f"floor: mp-{FLOOR_WORKERS} >= {FLOOR_SPEEDUP:.0f}x in-process "
+        f"commit throughput, enforced when cpu_count >= {FLOOR_MIN_CPUS} "
+        f"(this machine: {os.cpu_count()} cores).",
+    )
+
+
+def floor_applies() -> bool:
+    return (os.cpu_count() or 1) >= FLOOR_MIN_CPUS
+
+
+def enforce_floor(metrics: dict) -> None:
+    speedup = (
+        metrics[f"mp-{FLOOR_WORKERS}"]["commit_rows_per_sec"]
+        / metrics["in-process"]["commit_rows_per_sec"]
+    )
+    assert speedup >= FLOOR_SPEEDUP, (
+        f"mp-{FLOOR_WORKERS} commit_batch speedup {speedup:.2f}x is below "
+        f"the {FLOOR_SPEEDUP:.0f}x floor"
+    )
+
+
+def _json_rows(metrics: dict, total_rows: int, batch_rows: int) -> list[dict]:
+    return [
+        bench_result(
+            f"shard_engine_{label}",
+            {"rows": total_rows, "batch": batch_rows,
+             "shard_seconds": SHARD_SECONDS, "cpus": os.cpu_count()},
+            ops_per_sec=stats["commit_rows_per_sec"],
+        )
+        | {"probe_windows_per_sec": stats["probe_windows_per_sec"]}
+        for label, stats in metrics.items()
+    ]
+
+
+def test_shard_engine_smoke_report(benchmark):
+    """CI-sized comparison; the 2x floor applies only on >= 4-core hosts."""
+
+    def run():
+        rows, metrics = shard_engine_comparison(SMOKE_ROWS, SMOKE_BATCH)
+        report("bench_shard_engine_smoke", _render(rows, "(smoke)"))
+        if floor_applies():
+            enforce_floor(metrics)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"CI-sized run: {SMOKE_ROWS:,} tracked rows per backend "
+        f"instead of {FULL_ROWS:,}",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write machine-readable results to PATH"
+    )
+    parser.add_argument(
+        "--no-floor",
+        action="store_true",
+        help="skip the 2x speedup assertion even on >= 4-core machines",
+    )
+    args = parser.parse_args()
+    total_rows = SMOKE_ROWS if args.smoke else FULL_ROWS
+    batch_rows = SMOKE_BATCH if args.smoke else FULL_BATCH
+    scale_note = "(smoke)" if args.smoke else "(10^6 tracked reservations)"
+    rows, metrics = shard_engine_comparison(total_rows, batch_rows)
+    report("bench_shard_engine", _render(rows, scale_note))
+    write_bench_json(args.json, _json_rows(metrics, total_rows, batch_rows))
+    if args.no_floor:
+        print("floor check skipped (--no-floor)")
+    elif floor_applies():
+        enforce_floor(metrics)
+        print(f"floor ok: mp-{FLOOR_WORKERS} >= {FLOOR_SPEEDUP:.0f}x in-process")
+    else:
+        print(
+            f"floor not applicable: {os.cpu_count()} cores < {FLOOR_MIN_CPUS} "
+            "(workers would time-slice a single core)"
+        )
+
+
+if __name__ == "__main__":
+    main()

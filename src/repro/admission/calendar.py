@@ -67,6 +67,16 @@ class AdmissionRejected(RuntimeError):
     """A commitment does not fit the calendar's remaining capacity."""
 
 
+def _commitment_rows(commitments: dict) -> tuple:
+    """Canonical sorted rows of a commitment dict (fingerprint helper)."""
+    return tuple(
+        sorted(
+            (cid, c.bandwidth_kbps, c.start, c.end, c.tag)
+            for cid, c in commitments.items()
+        )
+    )
+
+
 @dataclass(frozen=True)
 class Commitment:
     """One accepted claim on interface capacity over a time window."""
@@ -425,6 +435,68 @@ class CapacityCalendar:
 
     def get(self, commitment_id: int) -> Commitment:
         return self._commitments[commitment_id]
+
+    # -- snapshot / fingerprint ----------------------------------------------------
+
+    def fingerprint(self) -> tuple:
+        """Hashable canonical form of this calendar's complete state.
+
+        Includes every piece of state — boundaries, levels, live
+        commitments, and the tag index — and excludes the two things that
+        are allocators or caches, not state: the ``_ids`` counter and the
+        lazily compiled numpy arrays.  Two calendars with equal
+        fingerprints answer every query identically.
+        """
+        return (
+            "monolithic",
+            self.capacity_kbps,
+            tuple(self._times),
+            tuple(self._levels),
+            _commitment_rows(self._commitments),
+            tuple(
+                sorted(
+                    (tag, tuple(sorted(ids)))
+                    for tag, ids in self._by_tag.items()
+                )
+            ),
+        )
+
+    def state(self) -> tuple:
+        """Picklable snapshot of the complete calendar state.
+
+        Unlike :meth:`fingerprint` this *does* carry the next commitment
+        id, so :meth:`from_state` resumes id allocation exactly where the
+        source calendar left off — replaying the same operation sequence
+        against a restored calendar reproduces identical commitment ids
+        (what the multiprocess shard engine's crash recovery relies on).
+        """
+        return (
+            self.capacity_kbps,
+            list(self._times),
+            list(self._levels),
+            [
+                (c.commitment_id, c.bandwidth_kbps, c.start, c.end, c.tag)
+                for c in self._commitments.values()
+            ],
+            self._next_id(),
+        )
+
+    @classmethod
+    def from_state(cls, state: tuple) -> "CapacityCalendar":
+        """Rebuild a calendar byte-identical to the one :meth:`state` saw."""
+        capacity_kbps, times, levels, rows, next_id = state
+        calendar = cls(capacity_kbps)
+        calendar._install(list(times), list(levels))
+        for commitment_id, bandwidth_kbps, start, end, tag in rows:
+            commitment = Commitment(commitment_id, bandwidth_kbps, start, end, tag)
+            calendar._commitments[commitment_id] = commitment
+            calendar._index(commitment)
+        calendar._ids = itertools.count(next_id)
+        return calendar
+
+    def _next_id(self) -> int:
+        """The next commitment id ``_ids`` would hand out, without consuming it."""
+        return self._ids.__reduce__()[1][0]
 
     # -- internals ----------------------------------------------------------------
 

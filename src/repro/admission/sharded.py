@@ -44,7 +44,12 @@ import math
 
 import numpy as np
 
-from repro.admission.calendar import AdmissionRejected, CapacityCalendar, Commitment
+from repro.admission.calendar import (
+    AdmissionRejected,
+    CapacityCalendar,
+    Commitment,
+    _commitment_rows,
+)
 
 # One projected piece: (the shard calendar holding it, its shard key, the
 # piece's commitment id *inside that shard*).  The calendar object itself is
@@ -555,6 +560,43 @@ class ShardedCalendar:
 
     def get(self, commitment_id: int) -> Commitment:
         return self._commitments[commitment_id]
+
+    def fingerprint(self) -> tuple:
+        """Hashable canonical form of this calendar's complete state.
+
+        Canonicalizes the shard map (each shard's own
+        :meth:`CapacityCalendar.fingerprint`), the top-level commitment
+        records, the end-shard index, and the piece projections; excludes
+        the id counter and per-shard numpy caches.  The multiprocess
+        engine's facade produces the *same* tuple shape from worker-held
+        shards, which is what lets the crash-recovery suite compare
+        calendars across process boundaries.
+        """
+        return (
+            "sharded",
+            self.capacity_kbps,
+            self.shard_seconds,
+            self.shards_dropped,
+            tuple(
+                sorted(
+                    (key, shard.fingerprint())
+                    for key, shard in self._shards.items()
+                )
+            ),
+            _commitment_rows(self._commitments),
+            tuple(
+                sorted(
+                    (key, tuple(sorted(ids)))
+                    for key, ids in self._by_end_shard.items()
+                )
+            ),
+            tuple(
+                sorted(
+                    (cid, tuple((key, piece_id) for _, key, piece_id in pieces))
+                    for cid, pieces in self._projections.items()
+                )
+            ),
+        )
 
     # -- internals ----------------------------------------------------------------
 

@@ -29,7 +29,12 @@ from repro.controlplane.asclient import AsService, PathSettlementRecord
 from repro.controlplane.hostclient import HostClient, plan_from_quote
 from repro.controlplane.pki import CpPki
 from repro.pathadm import PathAdmission, PathHop
-from repro.marketdata import MarketIndexer, PathSpec, PurchasePlanner
+from repro.marketdata import (
+    MarketIndexer,
+    PathSpec,
+    PurchasePlanner,
+    SharedMarketIndex,
+)
 from repro.crypto.prf import DEFAULT_PRF_FACTORY, PrfFactory
 from repro.hummingbird.reservation import FlyoverReservation
 from repro.ledger.accounts import Account, sui_to_mist
@@ -91,20 +96,52 @@ class MarketDeployment:
         if self.indexer is None:
             self.indexer = MarketIndexer(self.ledger, self.marketplace)
         self._planner = PurchasePlanner(self.indexer)
+        self._shared_index: SharedMarketIndex | None = None
 
     @property
     def planner(self) -> PurchasePlanner:
         """The deployment-wide planner over the shared off-chain index."""
         return self._planner
 
+    @property
+    def shared_index(self) -> SharedMarketIndex:
+        """Checkpointed fan-out of the deployment index (created lazily).
+
+        Hosts created with ``new_host(private_index=True)`` attach here:
+        each gets its own :class:`~repro.marketdata.MarketIndexer` cloned
+        from the latest checkpoint instead of replaying the ledger from
+        genesis, and one :meth:`~repro.marketdata.SharedMarketIndex.pump`
+        keeps every attached view current.
+        """
+        if self._shared_index is None:
+            self._shared_index = SharedMarketIndex(self.indexer)
+        return self._shared_index
+
     def service(self, isd_as) -> AsService:
         return self.services[isd_as]
 
-    def new_host(self, funding_sui: float = 100.0, name: str = "host") -> HostClient:
+    def close(self) -> None:
+        """Shut down every AS service's shard-engine backend.
+
+        A no-op for in-process engines; required to reap worker processes
+        when services run on the multiprocess backend.
+        """
+        for service in self.services.values():
+            service.close()
+
+    def new_host(
+        self,
+        funding_sui: float = 100.0,
+        name: str = "host",
+        private_index: bool = False,
+    ) -> HostClient:
         account = Account.generate(self.rng, name)
         host = HostClient(account, self.executor, self.rng)
         host.fund(sui_to_mist(funding_sui))
-        host.attach_indexer(self.marketplace, self.indexer)
+        if private_index:
+            host.attach_shared_index(self.marketplace, self.shared_index)
+        else:
+            host.attach_indexer(self.marketplace, self.indexer)
         return host
 
     def path_admission(self, crossings: list[AsCrossing]) -> PathAdmission:
@@ -146,6 +183,7 @@ def deploy_market(
     admission_policy=None,
     pricer=None,
     shard_seconds: float | None = None,
+    engine=None,
     auction_interfaces=None,
 ) -> MarketDeployment:
     """Stand up ledger, contracts, marketplace, and one service per AS.
@@ -160,6 +198,9 @@ def deploy_market(
     ``admission_policy`` and ``pricer`` configure each AS's
     :class:`~repro.admission.AdmissionController`; ``shard_seconds``
     switches its calendars to time-sharded ones (None = monolithic);
+    ``engine`` picks the shard-engine backend behind those calendars (an
+    :class:`~repro.shardengine.EngineSpec`, a kind string such as
+    ``"multiprocess"``, or None to derive it from ``shard_seconds``);
     ``auction_interfaces`` (``True`` or a set of ``(interface,
     is_ingress)`` pairs) puts those interface directions into sealed-bid
     auction mode — the seed listings are still posted, but
@@ -212,6 +253,7 @@ def deploy_market(
                 policy=admission_policy,
                 pricer=pricer,
                 shard_seconds=shard_seconds,
+                engine=engine,
                 auction_interfaces=auction_interfaces,
             ),
         )

@@ -1,0 +1,153 @@
+"""Fan-out of the ledger's event stream: one scan, many index subscribers.
+
+Without this layer every consumer of the marketplace pulls the ledger's
+append-only event list independently (``MarketIndexer.sync``), and every
+*new* consumer replays it from genesis.  The bus fixes both halves:
+
+* :class:`EventBus` delivers the stream to N subscribers from each
+  subscriber's **own** cursor, so one :meth:`~EventBus.pump` advances
+  everyone and pull (``sync``) and push (``deliver``) consumption compose
+  without double-applying — the cursor lives in the subscriber, not the
+  bus.
+* :class:`SharedMarketIndex` keeps one authoritative
+  :class:`~repro.marketdata.indexer.MarketIndexer` checkpointed;
+  :meth:`~SharedMarketIndex.attach` bootstraps a private index from the
+  latest checkpoint (cost: live listings, not ledger history) and rides
+  the bus for the tail.
+
+A subscriber is anything with an integer ``position`` cursor and a
+``deliver(event)`` method that applies the ledger event *at* that cursor
+and advances it — the contract :class:`MarketIndexer` implements.
+"""
+
+from __future__ import annotations
+
+
+class EventBus:
+    """Deliver one append-only event stream to cursor-tracking subscribers.
+
+    >>> from repro.ledger.chain import Ledger
+    >>> from repro.ledger.transactions import Event
+    >>> class Tail:
+    ...     position = 0
+    ...     seen = ()
+    ...     def deliver(self, event):
+    ...         self.position += 1
+    ...         self.seen += (event.event_type,)
+    >>> ledger = Ledger()
+    >>> ledger.events.append(Event("Listed", {}, "tx", 1))
+    >>> bus = EventBus(ledger)
+    >>> tail = Tail()
+    >>> bus.subscribe(tail)
+    >>> bus.pump()
+    1
+    >>> tail.seen
+    ('Listed',)
+    >>> bus.pump()  # idempotent: the cursor already points past the end
+    0
+    """
+
+    def __init__(self, ledger) -> None:
+        self.ledger = ledger
+        self._subscribers: list = []
+        self.events_delivered = 0
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
+    def subscribe(self, subscriber) -> None:
+        """Add a subscriber; it is caught up on the next :meth:`pump`.
+
+        Delivery starts from the subscriber's current ``position`` — pass
+        one restored from a checkpoint to skip history already folded in.
+        """
+        if subscriber not in self._subscribers:
+            self._subscribers.append(subscriber)
+
+    def unsubscribe(self, subscriber) -> None:
+        try:
+            self._subscribers.remove(subscriber)
+        except ValueError:
+            pass
+
+    def pump(self) -> int:
+        """Push every undelivered event to every subscriber, in order.
+
+        Each subscriber advances from its own cursor to the end of the
+        stream, so mixed-progress subscribers (one fresh from a snapshot,
+        one already synced) all converge on the same position.
+
+        Returns:
+            Total deliveries made (events times lagging subscribers).
+        """
+        events = self.ledger.events
+        delivered = 0
+        for subscriber in list(self._subscribers):
+            while subscriber.position < len(events):
+                subscriber.deliver(events[subscriber.position])
+                delivered += 1
+        self.events_delivered += delivered
+        return delivered
+
+
+class SharedMarketIndex:
+    """A checkpointed market index many hosts can attach to cheaply.
+
+    One authoritative :class:`~repro.marketdata.indexer.MarketIndexer`
+    stays subscribed to the bus; :meth:`attach` clones its state from the
+    most recent checkpoint and subscribes the clone, after which a single
+    :meth:`pump` keeps the whole fan-out current.  Checkpoints refresh
+    lazily every ``checkpoint_every`` ledger events, so an attach never
+    replays more than that much tail through the bus.
+    """
+
+    def __init__(self, indexer, checkpoint_every: int = 1024) -> None:
+        if not checkpoint_every > 0:
+            raise ValueError("checkpoint_every must be positive")
+        self.indexer = indexer
+        self.checkpoint_every = int(checkpoint_every)
+        self.bus = EventBus(indexer.ledger)
+        self.bus.subscribe(indexer)
+        self._checkpoint: dict | None = None
+        self.attached = 0
+
+    @property
+    def marketplace(self) -> str:
+        return self.indexer.marketplace
+
+    def pump(self) -> int:
+        """Fan all new ledger events out to every attached index."""
+        return self.bus.pump()
+
+    def checkpoint(self) -> dict:
+        """Sync the authoritative index and snapshot it, caching the result."""
+        self.bus.pump()
+        self._checkpoint = self.indexer.snapshot()
+        return self._checkpoint
+
+    def attach(self):
+        """A private indexer bootstrapped from the checkpoint, bus-fed after.
+
+        The clone starts byte-equal to the authoritative index at the
+        checkpoint position and receives the tail on the next pump — it
+        never replays the ledger from genesis.
+        """
+        from repro.marketdata.indexer import MarketIndexer
+
+        stale = (
+            self._checkpoint is None
+            or len(self.indexer.ledger.events) - self._checkpoint["position"]
+            >= self.checkpoint_every
+        )
+        if stale:
+            self.checkpoint()
+        clone = MarketIndexer.from_snapshot(self.indexer.ledger, self._checkpoint)
+        self.bus.subscribe(clone)
+        self.attached += 1
+        return clone
+
+    def detach(self, indexer) -> None:
+        """Stop feeding a previously attached indexer (it can still sync)."""
+        if indexer is not self.indexer:
+            self.bus.unsubscribe(indexer)

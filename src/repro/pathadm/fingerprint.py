@@ -33,69 +33,20 @@ __all__ = [
 ]
 
 
-def _commitment_rows(commitments: dict) -> tuple:
-    return tuple(
-        sorted(
-            (cid, c.bandwidth_kbps, c.start, c.end, c.tag)
-            for cid, c in commitments.items()
-        )
-    )
-
-
-def _monolithic_fingerprint(calendar: CapacityCalendar) -> tuple:
-    return (
-        "monolithic",
-        calendar.capacity_kbps,
-        tuple(calendar._times),
-        tuple(calendar._levels),
-        _commitment_rows(calendar._commitments),
-        tuple(
-            sorted(
-                (tag, tuple(sorted(ids)))
-                for tag, ids in calendar._by_tag.items()
-            )
-        ),
-    )
-
-
-def _sharded_fingerprint(calendar: ShardedCalendar) -> tuple:
-    return (
-        "sharded",
-        calendar.capacity_kbps,
-        calendar.shard_seconds,
-        calendar.shards_dropped,
-        tuple(
-            sorted(
-                (key, _monolithic_fingerprint(shard))
-                for key, shard in calendar._shards.items()
-            )
-        ),
-        _commitment_rows(calendar._commitments),
-        tuple(
-            sorted(
-                (key, tuple(sorted(ids)))
-                for key, ids in calendar._by_end_shard.items()
-            )
-        ),
-        tuple(
-            sorted(
-                (cid, tuple((key, piece_id) for _, key, piece_id in pieces))
-                for cid, pieces in calendar._projections.items()
-            )
-        ),
-    )
-
-
 def calendar_fingerprint(calendar: CapacityCalendar | ShardedCalendar) -> tuple:
     """Hashable canonical form of one calendar's complete state.
 
     Two calendars with equal fingerprints answer every admission, peak,
     headroom, tag-peak, and expiry query identically; only their next
     commitment id (and compiled numpy caches) may differ.
+
+    Delegates to the calendar's own ``fingerprint()`` — every backend
+    behind the shard-engine boundary (monolithic, in-process sharded, and
+    the multiprocess facade, which gathers shard state from its worker
+    processes) renders the same canonical tuple shapes, so fingerprints
+    compare across backends and across process restarts.
     """
-    if isinstance(calendar, ShardedCalendar):
-        return _sharded_fingerprint(calendar)
-    return _monolithic_fingerprint(calendar)
+    return calendar.fingerprint()
 
 
 def _is_pristine(fingerprint: tuple) -> bool:

@@ -1,0 +1,28 @@
+"""Shard engines: the process boundary behind every admission calendar.
+
+See :mod:`repro.shardengine.api` for the boundary contract,
+:mod:`repro.shardengine.inprocess` for the zero-overhead default, and
+:mod:`repro.shardengine.multiprocess` for the worker-pool backend.
+"""
+
+from repro.shardengine.api import (
+    MONOLITHIC,
+    MULTIPROCESS,
+    SHARDED,
+    EngineError,
+    EngineRetryable,
+    EngineSpec,
+    WorkerCrashed,
+    build_engine,
+)
+
+__all__ = [
+    "MONOLITHIC",
+    "MULTIPROCESS",
+    "SHARDED",
+    "EngineError",
+    "EngineRetryable",
+    "EngineSpec",
+    "WorkerCrashed",
+    "build_engine",
+]

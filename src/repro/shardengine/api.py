@@ -1,0 +1,144 @@
+"""The shard-engine boundary: calendars as a message surface, not method calls.
+
+Every admission calendar an :class:`~repro.admission.controller.AdmissionController`
+materializes now comes from a **shard engine** — an object that owns the
+calendar state for one controller and answers the calendar surface
+(admit/commit/commit_batch/release/expire/peak/bulk_peak/fingerprint)
+behind an explicit boundary.  Two backends implement the boundary:
+
+* the **in-process** engine (:mod:`repro.shardengine.inprocess`) hands
+  out the plain :class:`~repro.admission.calendar.CapacityCalendar` /
+  :class:`~repro.admission.sharded.ShardedCalendar` objects the codebase
+  always used — zero behavior change, zero overhead;
+* the **multiprocess** engine (:mod:`repro.shardengine.multiprocess`)
+  stripes shards across worker processes and turns every calendar call
+  into batched messages over pipes, with shared-memory numpy arrays for
+  ``bulk_peak``, snapshot+journal crash recovery, and per-worker
+  telemetry folded back into the parent registry.
+
+The boundary is deliberately *calendar-shaped*: policies, the path
+admission protocol, auctions, and the netsim experiments keep calling
+the same methods they always did, and :func:`build_engine` decides which
+process answers them.
+
+>>> spec = EngineSpec.resolve(None, shard_seconds=3600.0)
+>>> spec.kind
+'sharded'
+>>> EngineSpec.resolve("monolithic").kind
+'monolithic'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+MONOLITHIC = "monolithic"
+SHARDED = "sharded"
+MULTIPROCESS = "multiprocess"
+
+_KINDS = (MONOLITHIC, SHARDED, MULTIPROCESS)
+
+#: Calendars are keyed by ``(layer, interface, is_ingress)`` — the same
+#: key the controller's lazy calendar dict uses.
+CalendarKey = tuple
+
+
+class EngineError(RuntimeError):
+    """A shard engine could not complete an operation."""
+
+
+class EngineRetryable(EngineError):
+    """The operation failed *cleanly*: no partial state was left behind.
+
+    The engine rolled every worker back to the state before the failed
+    operation (snapshot + journal replay), so retrying the same call is
+    safe and leaves no double-applied commitments.
+    """
+
+
+class WorkerCrashed(EngineRetryable):
+    """A worker process died mid-operation; it was restarted from its
+    last snapshot and the in-flight operation was rolled back everywhere."""
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Which backend answers the calendar surface, and how it is shaped.
+
+    Args:
+        kind: ``"monolithic"`` (one :class:`CapacityCalendar` per key),
+            ``"sharded"`` (in-process :class:`ShardedCalendar`), or
+            ``"multiprocess"`` (shards striped across worker processes).
+        shard_seconds: shard width for the sharded kinds; must be ``None``
+            for ``"monolithic"``.
+        num_workers: worker process count (multiprocess only).
+        checkpoint_ops: journal length that triggers an automatic worker
+            snapshot (multiprocess only).
+        checkpoint_rows: journaled commitment-row count that triggers an
+            automatic worker snapshot (multiprocess only).
+    """
+
+    kind: str = MONOLITHIC
+    shard_seconds: float | None = None
+    num_workers: int = 2
+    checkpoint_ops: int = 512
+    checkpoint_rows: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown engine kind {self.kind!r}; expected one of {_KINDS}")
+        if self.kind == MONOLITHIC:
+            if self.shard_seconds is not None:
+                raise ValueError("monolithic engines take no shard width")
+        else:
+            if self.shard_seconds is None or not self.shard_seconds > 0:
+                raise ValueError(f"{self.kind} engines need a positive shard_seconds")
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        if self.checkpoint_ops < 1 or self.checkpoint_rows < 1:
+            raise ValueError("checkpoint thresholds must be positive")
+
+    @classmethod
+    def resolve(
+        cls,
+        engine: "EngineSpec | str | None",
+        shard_seconds: float | None = None,
+    ) -> "EngineSpec":
+        """Normalize the ``engine=`` argument controllers accept.
+
+        ``None`` keeps the historical behavior: monolithic calendars
+        unless ``shard_seconds`` selects in-process sharding.  A string
+        names a kind (sharded kinds default to day-wide shards when no
+        width is given); an :class:`EngineSpec` passes through, inheriting
+        ``shard_seconds`` when it left the width unset.
+        """
+        if isinstance(engine, EngineSpec):
+            if engine.kind != MONOLITHIC and engine.shard_seconds is None:
+                width = float(shard_seconds) if shard_seconds else 86_400.0
+                return replace(engine, shard_seconds=width)
+            return engine
+        if engine is None:
+            if shard_seconds is None:
+                return cls(kind=MONOLITHIC)
+            return cls(kind=SHARDED, shard_seconds=float(shard_seconds))
+        if isinstance(engine, str):
+            if engine == MONOLITHIC:
+                return cls(kind=MONOLITHIC)
+            width = float(shard_seconds) if shard_seconds else 86_400.0
+            return cls(kind=engine, shard_seconds=width)
+        raise TypeError(f"engine must be an EngineSpec, a kind string, or None; got {engine!r}")
+
+
+def build_engine(spec: EngineSpec):
+    """Construct the backend a spec names.
+
+    Returns an object with the engine surface: ``spec``,
+    ``calendar(key, capacity_kbps)``, ``collect_metrics()``, ``close()``.
+    """
+    if spec.kind == MULTIPROCESS:
+        from repro.shardengine.multiprocess import MultiprocessShardEngine
+
+        return MultiprocessShardEngine(spec)
+    from repro.shardengine.inprocess import InProcessEngine
+
+    return InProcessEngine(spec)

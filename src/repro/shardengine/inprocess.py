@@ -1,0 +1,42 @@
+"""The in-process shard-engine backend: the calendars the repo always had.
+
+This backend exists so the engine boundary costs *nothing* when no
+process parallelism was asked for: ``calendar()`` hands out the very
+same :class:`~repro.admission.calendar.CapacityCalendar` or
+:class:`~repro.admission.sharded.ShardedCalendar` objects that
+:class:`~repro.admission.controller.AdmissionController` used to build
+inline, and every method call stays a plain method call.
+"""
+
+from __future__ import annotations
+
+from repro.admission.calendar import CapacityCalendar
+from repro.admission.sharded import ShardedCalendar
+from repro.shardengine.api import MONOLITHIC, CalendarKey, EngineSpec
+
+
+class InProcessEngine:
+    """Monolithic or in-process-sharded calendars behind the engine surface."""
+
+    def __init__(self, spec: EngineSpec) -> None:
+        self.spec = spec
+        self._calendars: dict[CalendarKey, CapacityCalendar | ShardedCalendar] = {}
+
+    def calendar(self, key: CalendarKey, capacity_kbps: int):
+        """The (lazily created) calendar for one key."""
+        found = self._calendars.get(key)
+        if found is None:
+            if self.spec.kind == MONOLITHIC:
+                found = CapacityCalendar(capacity_kbps)
+            else:
+                found = ShardedCalendar(
+                    capacity_kbps, shard_seconds=self.spec.shard_seconds
+                )
+            self._calendars[key] = found
+        return found
+
+    def collect_metrics(self) -> None:
+        """Nothing to fold in: all metrics already live in this process."""
+
+    def close(self) -> None:
+        """Nothing to shut down."""

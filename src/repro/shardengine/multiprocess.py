@@ -1,0 +1,877 @@
+"""Process-parallel shard engine: calendars striped across worker processes.
+
+One :class:`MultiprocessShardEngine` serves every calendar of one
+controller.  Shards are striped across ``num_workers`` worker processes
+by ``shard_key % num_workers``; the parent keeps the *top-level* record
+of every commitment (ids, windows, tags, projections) while the workers
+hold the per-shard step functions.  :class:`EngineCalendar` — the object
+the controller and policies actually touch — subclasses
+:class:`~repro.admission.sharded.ShardedCalendar` and overrides the hot
+paths with **batched scatter/gather messages** (one message per worker
+per operation, the pipe-deadlock discipline), leaving the intricate
+commitment-surgery paths (split/fuse/transfer) to the inherited code
+running against per-shard RPC proxies.
+
+Reliability model (the part the fault suite exercises):
+
+* every state-changing message is **journaled** in the parent after it
+  succeeds on the worker;
+* workers snapshot their shard state when the journal grows past the
+  spec's checkpoint thresholds (or on :meth:`MultiprocessShardEngine.checkpoint`),
+  which trims the journal;
+* when any worker dies mid-operation, the supervisor restarts **all**
+  workers from snapshot + journal — the in-flight operation was not yet
+  journaled, so recovery rolls the whole engine back to the state before
+  it — and raises :class:`~repro.shardengine.api.WorkerCrashed`, a clean
+  retryable failure.  Parent-side bookkeeping is only ever updated after
+  a successful gather, so parent and workers stay in lockstep.
+
+Multi-message operations (the inherited split/fuse/transfer surgery) are
+*not* crash-atomic: each piece call journals individually, so a crash in
+the middle leaves the completed piece calls applied.  ``commit``,
+``commit_batch``, ``release``, and ``expire`` are single-round scatters
+and roll back atomically.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+
+import numpy as np
+
+from repro.admission.calendar import AdmissionRejected, CapacityCalendar, Commitment
+from repro.admission.calendar import _commitment_rows
+from repro.admission.sharded import ShardedCalendar
+from repro.shardengine.api import (
+    CalendarKey,
+    EngineError,
+    EngineRetryable,
+    EngineSpec,
+    WorkerCrashed,
+)
+from repro.shardengine.worker import worker_main
+from repro.telemetry import get_registry
+
+_ERROR_TYPES = {
+    "ValueError": ValueError,
+    "TypeError": TypeError,
+    "KeyError": KeyError,
+    "RuntimeError": RuntimeError,
+    "AdmissionRejected": AdmissionRejected,
+}
+
+
+class _CrashDetected(Exception):
+    """Internal: a worker pipe broke (the process died)."""
+
+
+class _WorkerError(Exception):
+    """Internal: a worker reported an application error ``(type_name, text)``."""
+
+
+def _map_error(payload) -> Exception:
+    type_name, text = payload
+    return _ERROR_TYPES.get(type_name, EngineError)(text)
+
+
+class _Worker:
+    """Parent-side handle of one worker process."""
+
+    __slots__ = ("index", "process", "conn", "seq", "journal", "journal_rows", "snapshot")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process = None
+        self.conn = None
+        self.seq = itertools.count()
+        self.journal: list[tuple] = []  # successful mutating (op, payload)
+        self.journal_rows = 0
+        self.snapshot = None  # last checkpointed worker state
+
+
+class MultiprocessShardEngine:
+    """Worker-pool backend of the shard-engine boundary."""
+
+    def __init__(self, spec: EngineSpec) -> None:
+        self.spec = spec
+        # Fork keeps worker start ~instant and inherits the parent's
+        # modules; fall back to the platform default elsewhere.
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        self._workers: list[_Worker] = []
+        self._calendars: dict[CalendarKey, EngineCalendar] = {}
+        self._recovering = False
+        self._closed = False
+        self.restarts = 0  # lifetime worker-pool recoveries
+        self._shm_in = None
+        self._shm_out = None
+        self._shm_capacity = 0
+        registry = get_registry()
+        self._telemetry = registry.enabled
+        self._m_messages = registry.counter(
+            "shardengine_messages_total",
+            "Messages sent to shard-engine workers, by op.",
+            ("op",),
+        )
+        self._m_restarts = registry.counter(
+            "shardengine_worker_restarts_total",
+            "Worker-pool recoveries (snapshot restore + journal replay).",
+        ).labels()
+        self._m_checkpoints = registry.counter(
+            "shardengine_checkpoints_total",
+            "Worker snapshots taken to trim the replay journal.",
+        ).labels()
+
+    # -- engine surface -----------------------------------------------------------
+
+    def calendar(self, key: CalendarKey, capacity_kbps: int) -> "EngineCalendar":
+        """The (lazily created) process-backed calendar for one key."""
+        found = self._calendars.get(key)
+        if found is None:
+            self._ensure_workers()
+            payload = {"key": key, "capacity_kbps": int(capacity_kbps)}
+            self.scatter(
+                [(index, "register", payload) for index in range(len(self._workers))],
+                mutating=True,
+            )
+            found = EngineCalendar(self, key, capacity_kbps)
+            self._calendars[key] = found
+        return found
+
+    def collect_metrics(self) -> int:
+        """Fold every worker's metric registry into the parent's.
+
+        Returns the number of workers that reported metrics.  A no-op
+        (returning 0) when telemetry is off or no worker was spawned.
+        """
+        registry = get_registry()
+        if not registry.enabled or not self._workers:
+            return 0
+        calls = [(index, "metrics", {}) for index in range(len(self._workers))]
+        merged = 0
+        for rows in self.scatter(calls):
+            if rows:
+                registry.merge(rows)
+                merged += 1
+        return merged
+
+    def checkpoint(self) -> None:
+        """Snapshot every worker now and trim the replay journals."""
+        for worker in self._workers:
+            self._checkpoint_worker(worker)
+
+    def close(self) -> None:
+        """Collect metrics, stop the workers, release shared memory."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.collect_metrics()
+        except Exception:
+            pass
+        for worker in self._workers:
+            try:
+                worker.conn.send((next(worker.seq), "shutdown", None))
+            except Exception:
+                pass
+        for worker in self._workers:
+            if worker.process is not None:
+                worker.process.join(timeout=2)
+                if worker.process.is_alive():
+                    worker.process.terminate()
+                    worker.process.join(timeout=2)
+            try:
+                worker.conn.close()
+            except Exception:
+                pass
+        self._workers = []
+        for shm in (self._shm_in, self._shm_out):
+            if shm is not None:
+                try:
+                    shm.close()
+                    shm.unlink()
+                except Exception:
+                    pass
+        self._shm_in = self._shm_out = None
+
+    # -- worker lifecycle ---------------------------------------------------------
+
+    def _ensure_workers(self) -> None:
+        if self._closed:
+            raise EngineError("engine is closed")
+        if self._workers:
+            return
+        self._workers = [self._spawn(index) for index in range(self.spec.num_workers)]
+
+    def _spawn(self, index: int) -> _Worker:
+        worker = _Worker(index)
+        parent_conn, child_conn = self._ctx.Pipe()
+        worker.conn = parent_conn
+        worker.process = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn, index, self.spec.shard_seconds, get_registry().enabled),
+            daemon=True,
+            name=f"shardengine-worker-{index}",
+        )
+        worker.process.start()
+        child_conn.close()
+        return worker
+
+    def _recover(self) -> None:
+        """Restart every worker from snapshot + journal (pre-op state).
+
+        The in-flight operation is never journaled, so replay reproduces
+        exactly the state before it — including per-shard commitment ids,
+        because :meth:`CapacityCalendar.from_state` resumes id allocation
+        and message replay is deterministic.
+        """
+        if self._recovering:
+            raise EngineError("worker crashed during recovery; state is lost")
+        self._recovering = True
+        try:
+            old = self._workers
+            for worker in old:
+                if worker.process is not None and worker.process.is_alive():
+                    worker.process.terminate()
+                    worker.process.join(timeout=5)
+                try:
+                    worker.conn.close()
+                except Exception:
+                    pass
+            self._workers = []
+            replacements = []
+            for stale in old:
+                worker = self._spawn(stale.index)
+                worker.journal = stale.journal
+                worker.journal_rows = stale.journal_rows
+                worker.snapshot = stale.snapshot
+                replacements.append(worker)
+            self._workers = replacements
+            for worker in self._workers:
+                if worker.snapshot is not None:
+                    self._call(worker, "restore", {"snapshot": worker.snapshot})
+                for op, payload in worker.journal:
+                    self._call(worker, op, payload)
+            self._reconcile()
+            self.restarts += 1
+            if self._telemetry:
+                self._m_restarts.inc()
+        finally:
+            self._recovering = False
+
+    def _reconcile(self) -> None:
+        """Prune facade shard proxies whose worker shard no longer exists.
+
+        A failed operation may have created proxies for shards its
+        scatter never (or no longer) materialized; parent registries are
+        untouched (they update only after success), so only the proxy map
+        needs syncing back to the workers' truth.
+        """
+        live: set[tuple] = set()
+        for listed in self.scatter(
+            [(index, "list_shards", {}) for index in range(len(self._workers))]
+        ):
+            live.update((tuple(key), shard_key) for key, shard_key in listed)
+        for cal_key, facade in self._calendars.items():
+            for shard_key in [
+                k for k in facade._shards if (tuple(cal_key), k) not in live
+            ]:
+                del facade._shards[shard_key]
+
+    # -- messaging ----------------------------------------------------------------
+
+    def worker_index(self, shard_key: int) -> int:
+        return shard_key % self.spec.num_workers
+
+    def scatter_begin(self, calls: list[tuple]) -> list[tuple]:
+        """Send one message per worker; returns tokens for :meth:`scatter_end`.
+
+        ``calls`` is ``[(worker_index, op, payload), ...]`` with at most
+        one entry per worker — the discipline that keeps at most one
+        in-flight message per pipe and rules out send/reply deadlocks.
+        """
+        tokens = []
+        for index, op, payload in calls:
+            worker = self._workers[index]
+            seq = next(worker.seq)
+            if self._telemetry:
+                self._m_messages.labels(op).inc()
+            try:
+                worker.conn.send((seq, op, payload))
+            except (BrokenPipeError, ConnectionResetError, OSError):
+                self._recover()
+                raise WorkerCrashed(
+                    "a shard worker died before the operation reached it; "
+                    "state rolled back, retry is safe"
+                )
+            tokens.append((worker, seq, op, payload))
+        return tokens
+
+    def scatter_end(self, tokens: list[tuple], mutating: bool = False, rows: int = 0):
+        """Gather replies; journal on success, recover-and-raise on failure."""
+        results = []
+        failure: tuple | None = None
+        for worker, seq, op, payload in tokens:
+            try:
+                results.append(self._recv_reply(worker, seq))
+            except _CrashDetected:
+                failure = ("crash", None)
+                break
+            except _WorkerError as exc:
+                failure = ("error", exc.args[0])
+                break
+        if failure is None:
+            if mutating:
+                per_worker_rows = max(1, rows // max(1, len(tokens)))
+                for worker, _, op, payload in tokens:
+                    worker.journal.append((op, payload))
+                    worker.journal_rows += per_worker_rows
+                for worker in {id(t[0]): t[0] for t in tokens}.values():
+                    self._maybe_checkpoint(worker)
+            return results
+        kind, detail = failure
+        if kind == "crash" or mutating:
+            # Either a worker died, or a mutating scatter half-applied
+            # (some workers succeeded before one errored): both roll the
+            # whole pool back to the journaled pre-operation state.
+            self._recover()
+        if kind == "crash":
+            raise WorkerCrashed(
+                "a shard worker died mid-operation; state rolled back, retry is safe"
+            )
+        raise _map_error(detail)
+
+    def scatter(self, calls: list[tuple], mutating: bool = False, rows: int = 0):
+        return self.scatter_end(self.scatter_begin(calls), mutating=mutating, rows=rows)
+
+    def piece_call(self, shard_key: int, payload: dict, mutating: bool):
+        """One commitment-surgery RPC against the shard's worker."""
+        calls = [(self.worker_index(shard_key), "piece_op", payload)]
+        return self.scatter(calls, mutating=mutating, rows=1)[0]
+
+    def _recv_reply(self, worker: _Worker, wanted: int):
+        while True:
+            try:
+                seq, ok, result = worker.conn.recv()
+            except (EOFError, ConnectionResetError, OSError):
+                raise _CrashDetected() from None
+            if seq == wanted:
+                if ok:
+                    return result
+                raise _WorkerError(result)
+            if seq > wanted:
+                raise EngineError(f"out-of-order reply {seq} (wanted {wanted})")
+            # seq < wanted: the ack of a fire-and-forget message; drop it.
+
+    def _call(self, worker: _Worker, op: str, payload):
+        """Plain call outside the scatter/journal machinery (recovery path)."""
+        seq = next(worker.seq)
+        try:
+            worker.conn.send((seq, op, payload))
+            return self._recv_reply(worker, seq)
+        except (_CrashDetected, BrokenPipeError, ConnectionResetError, OSError):
+            raise EngineError("worker died during recovery; state is lost") from None
+        except _WorkerError as exc:
+            raise _map_error(exc.args[0]) from None
+
+    # -- checkpoints --------------------------------------------------------------
+
+    def _maybe_checkpoint(self, worker: _Worker) -> None:
+        if (
+            len(worker.journal) >= self.spec.checkpoint_ops
+            or worker.journal_rows >= self.spec.checkpoint_rows
+        ):
+            self._checkpoint_worker(worker)
+
+    def _checkpoint_worker(self, worker: _Worker) -> None:
+        worker.snapshot = self._call(worker, "snapshot", {})
+        worker.journal = []
+        worker.journal_rows = 0
+        if self._telemetry:
+            self._m_checkpoints.inc()
+
+    # -- shared-memory bulk_peak --------------------------------------------------
+
+    def bulk_peak_query(
+        self, cal_key: CalendarKey, starts: np.ndarray, ends: np.ndarray, shard_keys
+    ) -> np.ndarray:
+        """Scatter a vectorized peak query through shared-memory arrays."""
+        count = starts.size
+        self._ensure_shm(count)
+        windows = np.ndarray((2, count), dtype=np.float64, buffer=self._shm_in.buf)
+        windows[0] = starts
+        windows[1] = ends
+        by_worker: dict[int, list[int]] = {}
+        for shard_key in shard_keys:
+            by_worker.setdefault(self.worker_index(shard_key), []).append(shard_key)
+        calls = [
+            (
+                index,
+                "bulk_peak",
+                {
+                    "key": cal_key,
+                    "count": count,
+                    "shard_keys": keys,
+                    "in_name": self._shm_in.name,
+                    "out_name": self._shm_out.name,
+                    "slot": index,
+                },
+            )
+            for index, keys in by_worker.items()
+        ]
+        self.scatter(calls)
+        slabs = np.ndarray(
+            (self.spec.num_workers, count), dtype=np.int64, buffer=self._shm_out.buf
+        )
+        slots = sorted(by_worker)
+        return slabs[slots].max(axis=0)
+
+    def _ensure_shm(self, count: int) -> None:
+        if count <= self._shm_capacity:
+            return
+        from multiprocessing import shared_memory
+
+        capacity = max(count, 2 * self._shm_capacity, 4096)
+        for shm in (self._shm_in, self._shm_out):
+            if shm is not None:
+                shm.close()
+                shm.unlink()
+        self._shm_in = shared_memory.SharedMemory(create=True, size=16 * capacity)
+        self._shm_out = shared_memory.SharedMemory(
+            create=True, size=8 * capacity * self.spec.num_workers
+        )
+        self._shm_capacity = capacity
+
+    # -- test hooks ---------------------------------------------------------------
+
+    def worker_pid(self, index: int) -> int:
+        return self._workers[index].process.pid
+
+    def inject_delay(self, index: int, seconds: float) -> None:
+        """Fire-and-forget sleep on one worker (fault-injection tests).
+
+        Not journaled; the skipped ack is drained by seq matching.
+        """
+        worker = self._workers[index]
+        worker.conn.send((next(worker.seq), "debug_sleep", {"seconds": seconds}))
+
+
+class _ShardProxy:
+    """Stable stand-in for one worker-held shard.
+
+    Kept in the facade's ``_shards`` map and inside projection pieces, so
+    the inherited :class:`ShardedCalendar` identity checks (stale-piece
+    detection after expire) work unchanged; method calls forward to the
+    owning worker as single-shard RPCs.
+    """
+
+    __slots__ = ("_engine", "_cal_key", "_shard_key")
+
+    def __init__(self, engine: MultiprocessShardEngine, cal_key, shard_key: int):
+        self._engine = engine
+        self._cal_key = cal_key
+        self._shard_key = shard_key
+
+    def _op(self, method: str, args: tuple, mutating: bool):
+        return self._engine.piece_call(
+            self._shard_key,
+            {
+                "key": self._cal_key,
+                "shard_key": self._shard_key,
+                "method": method,
+                "args": args,
+            },
+            mutating,
+        )
+
+    def get(self, piece_id: int) -> Commitment:
+        return self._op("get", (piece_id,), mutating=False)
+
+    def peak_commitment(self, start: float, end: float) -> int:
+        return self._op("peak_commitment", (start, end), mutating=False)
+
+    def tag_peak(self, tag: str, start: float, end: float) -> int:
+        return self._op("tag_peak", (tag, start, end), mutating=False)
+
+    def mean_commitment(self, start: float, end: float) -> float:
+        return self._op("mean_commitment", (start, end), mutating=False)
+
+    def commit(self, bandwidth_kbps: int, start: float, end: float, tag: str = ""):
+        return self._op("commit", (bandwidth_kbps, start, end, tag), mutating=True)
+
+    def release(self, piece_id: int):
+        return self._op("release", (piece_id,), mutating=True)
+
+    def split_time(self, piece_id: int, at: float):
+        return self._op("split_time", (piece_id, at), mutating=True)
+
+    def split_bandwidth(self, piece_id: int, bandwidth_kbps: int):
+        return self._op("split_bandwidth", (piece_id, bandwidth_kbps), mutating=True)
+
+    def fuse(self, first_id: int, second_id: int):
+        return self._op("fuse", (first_id, second_id), mutating=True)
+
+    def transfer(self, piece_id: int, tag: str):
+        return self._op("transfer", (piece_id, tag), mutating=True)
+
+
+class EngineCalendar(ShardedCalendar):
+    """A :class:`ShardedCalendar` whose shards live in worker processes.
+
+    The parent keeps the top-level commitment records and projections
+    (against :class:`_ShardProxy` placeholders); every hot-path method is
+    overridden with a batched one-message-per-worker scatter, and the
+    parent registries mutate strictly *after* a successful gather so a
+    crashed operation leaves no parent-side trace.
+    """
+
+    def __init__(
+        self, engine: MultiprocessShardEngine, key: CalendarKey, capacity_kbps: int
+    ) -> None:
+        super().__init__(capacity_kbps, shard_seconds=engine.spec.shard_seconds)
+        self._engine = engine
+        self._key = key
+
+    # -- shard plumbing -----------------------------------------------------------
+
+    def _shard(self, key: int) -> _ShardProxy:
+        found = self._shards.get(key)
+        if found is None:
+            found = _ShardProxy(self._engine, self._key, key)
+            self._shards[key] = found
+        return found
+
+    def _group_items(self, entries) -> dict[int, list]:
+        """Partition per-shard payload items by owning worker."""
+        by_worker: dict[int, list] = {}
+        for shard_key, item in entries:
+            by_worker.setdefault(self._engine.worker_index(shard_key), []).append(item)
+        return by_worker
+
+    def _scatter_items(self, op: str, by_worker: dict[int, list], **kwargs):
+        calls = [(index, op, {"items": items}) for index, items in by_worker.items()]
+        return self._engine.scatter(calls, **kwargs)
+
+    def _prune_dropped(self, results) -> None:
+        for result in results:
+            for _cal_key, shard_key in result["dropped"]:
+                self._shards.pop(shard_key, None)
+
+    # -- queries ------------------------------------------------------------------
+
+    def peak_commitment(self, start: float, end: float) -> int:
+        CapacityCalendar._check_window(start, end)
+        entries = []
+        for key, _ in self._overlapping(start, end):
+            clip_start, clip_end = self._clip(key, start, end)
+            entries.append((key, (self._key, key, clip_start, clip_end)))
+        if not entries:
+            return 0
+        results = self._scatter_items("peak_pieces", self._group_items(entries))
+        return max(peak for peaks in results for peak in peaks)
+
+    def tag_peak(self, tag: str, start: float, end: float) -> int:
+        CapacityCalendar._check_window(start, end)
+        entries = []
+        for key, _ in self._overlapping(start, end):
+            clip_start, clip_end = self._clip(key, start, end)
+            entries.append((key, (self._key, key, tag, clip_start, clip_end)))
+        if not entries:
+            return 0
+        results = self._scatter_items("tag_peak_pieces", self._group_items(entries))
+        return max(peak for peaks in results for peak in peaks)
+
+    def mean_commitment(self, start: float, end: float) -> float:
+        CapacityCalendar._check_window(start, end)
+        entries = []
+        spans = []
+        for key, _ in self._overlapping(start, end):
+            clip_start, clip_end = self._clip(key, start, end)
+            entries.append((key, (self._key, key, clip_start, clip_end)))
+            spans.append(clip_end - clip_start)
+        if not entries:
+            return 0.0
+        by_worker = self._group_items(entries)
+        # Reassemble in the same order the spans were collected: worker
+        # grouping preserves per-worker order, so pair via the same walk.
+        span_by_item = {id(item): span for (_, item), span in zip(entries, spans)}
+        results = self._scatter_items("mean_pieces", by_worker)
+        total = 0.0
+        for index, means in zip(by_worker, results):
+            for item, mean in zip(by_worker[index], means):
+                total += mean * span_by_item[id(item)]
+        return total / (end - start)
+
+    def bulk_peak(self, starts, ends) -> np.ndarray:
+        starts = np.asarray(starts, dtype=np.float64)
+        ends = np.asarray(ends, dtype=np.float64)
+        if starts.shape != ends.shape:
+            raise ValueError("starts and ends must have the same shape")
+        if starts.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if not np.all(ends > starts):
+            raise ValueError("every window must satisfy end > start")
+        shard_keys = [
+            key
+            for key, _ in self._overlapping(float(starts.min()), float(ends.max()))
+        ]
+        if not shard_keys:
+            return np.zeros(starts.shape, dtype=np.int64)
+        flat = self._engine.bulk_peak_query(
+            self._key, starts.ravel(), ends.ravel(), shard_keys
+        )
+        return flat.reshape(starts.shape).copy()
+
+    @property
+    def boundary_count(self) -> int:
+        entries = [(key, (self._key, key)) for key in self._shards]
+        if not entries:
+            return 0
+        results = self._scatter_items("stats_pieces", self._group_items(entries))
+        return sum(boundaries for stats in results for _, boundaries in stats)
+
+    # -- mutations ----------------------------------------------------------------
+
+    def try_commit(
+        self, bandwidth_kbps: int, start: float, end: float, tag: str = ""
+    ) -> Commitment | None:
+        bandwidth_kbps = int(bandwidth_kbps)
+        self._check_commitment(bandwidth_kbps, start, end)
+        self._check_span(start, end)
+        if self.peak_commitment(start, end) > self.capacity_kbps - bandwidth_kbps:
+            return None
+        return self._commit_checked(bandwidth_kbps, start, end, tag)
+
+    def _commit_checked(
+        self, bandwidth_kbps: int, start: float, end: float, tag: str
+    ) -> Commitment:
+        keys = list(range(self._first_key(start), self._last_key(end) + 1))
+        by_worker: dict[int, list] = {}
+        for key in keys:
+            clip_start, clip_end = self._clip(key, start, end)
+            by_worker.setdefault(self._engine.worker_index(key), []).append(
+                (self._key, key, bandwidth_kbps, clip_start, clip_end, tag)
+            )
+        results = self._scatter_items(
+            "commit_pieces", by_worker, mutating=True, rows=len(keys)
+        )
+        piece_ids: dict[int, int] = {}
+        for index, ids in zip(by_worker, results):
+            for item, piece_id in zip(by_worker[index], ids):
+                piece_ids[item[1]] = piece_id
+        commitment = Commitment(
+            next(self._ids), bandwidth_kbps, float(start), float(end), tag
+        )
+        pieces = [(self._shard(key), key, piece_ids[key]) for key in keys]
+        self._register(commitment, pieces)
+        return commitment
+
+    def commit_batch(self, bandwidths, starts, ends, tag: str = "", track: bool = True):
+        """Bulk load, one ordered chunk-list message per worker.
+
+        The parent runs the exact carry-loop partitioning of
+        :meth:`ShardedCalendar.commit_batch` to produce per-shard chunks
+        in the same order — so workers allocate identical per-shard piece
+        ids — then overlaps the top-level record construction with the
+        workers' step-function rebuilds (send first, build, then gather).
+        """
+        bandwidths = np.asarray(bandwidths, dtype=np.int64)
+        starts = np.asarray(starts, dtype=np.float64)
+        ends = np.asarray(ends, dtype=np.float64)
+        if not (bandwidths.shape == starts.shape == ends.shape):
+            raise ValueError("bandwidths, starts and ends must be parallel arrays")
+        if bandwidths.size == 0:
+            return [] if track else None
+        if not np.all(ends > starts) or not np.all(bandwidths > 0):
+            raise ValueError("every commitment needs end > start and bandwidth > 0")
+        if not (np.all(np.isfinite(starts)) and np.all(np.isfinite(ends))):
+            raise ValueError("commitment window must be finite")
+        widest = int(np.argmax(ends - starts))
+        self._check_span(float(starts[widest]), float(ends[widest]))
+        width = self.shard_seconds
+        chunks_by_worker: dict[int, list] = {}
+        chunk_refs: list[tuple] = []  # (worker, chunk position, key, row positions)
+        total_pieces = 0
+        row_ids = np.arange(starts.size)
+        cursor_starts, cursor_ends, cursor_bws = starts, ends, bandwidths
+        while cursor_starts.size:
+            keys = np.floor_divide(cursor_starts, width).astype(np.int64)
+            piece_ends = np.minimum(cursor_ends, (keys + 1) * width)
+            order = np.argsort(keys, kind="stable")
+            breaks = np.flatnonzero(np.diff(keys[order])) + 1
+            for group in np.split(order, breaks):
+                key = int(keys[group[0]])
+                index = self._engine.worker_index(key)
+                chunks = chunks_by_worker.setdefault(index, [])
+                chunks.append(
+                    (self._key, key, cursor_bws[group], cursor_starts[group],
+                     piece_ends[group])
+                )
+                total_pieces += group.size
+                if track:
+                    chunk_refs.append((index, len(chunks) - 1, key, row_ids[group]))
+            carry = piece_ends < cursor_ends
+            cursor_starts = piece_ends[carry]
+            cursor_ends = cursor_ends[carry]
+            cursor_bws = cursor_bws[carry]
+            row_ids = row_ids[carry]
+        calls = [
+            (index, "commit_chunks", {"chunks": chunks, "tag": tag, "track": track})
+            for index, chunks in chunks_by_worker.items()
+        ]
+        tokens = self._engine.scatter_begin(calls)
+        # Workers are rebuilding their shards now; build the top-level
+        # records in parallel with them.  Ids are rolled back on failure
+        # so a crashed batch burns none (replays stay deterministic).
+        next_id = self._ids.__reduce__()[1][0]
+        commitments = (
+            [
+                Commitment(next(self._ids), int(bw), float(s), float(e), tag)
+                for bw, s, e in zip(bandwidths, starts, ends)
+            ]
+            if track
+            else None
+        )
+        try:
+            results = self._engine.scatter_end(tokens, mutating=True, rows=total_pieces)
+        except EngineRetryable:
+            self._ids = itertools.count(next_id)
+            raise
+        # Register a proxy for every shard the batch touched — untracked
+        # batches create boundary state on the workers too, and queries
+        # (peak, bulk_peak, fingerprint) only consult shards the facade
+        # knows about.
+        for chunks in chunks_by_worker.values():
+            for chunk in chunks:
+                self._shard(chunk[1])
+        if not track:
+            return None
+        by_index = dict(zip(chunks_by_worker, results))
+        pieces_by_row: list[list] = [[] for _ in range(starts.size)]
+        for index, chunk_position, key, rows in chunk_refs:
+            ids = by_index[index][chunk_position]
+            proxy = self._shard(key)
+            for position, piece_id in zip(rows, ids):
+                pieces_by_row[position].append((proxy, key, int(piece_id)))
+        for commitment, pieces in zip(commitments, pieces_by_row):
+            self._register(commitment, pieces)
+        return commitments
+
+    def release(self, commitment_id: int) -> Commitment:
+        if commitment_id not in self._commitments:
+            raise KeyError(f"unknown commitment {commitment_id}")
+        # Scatter first, unregister after: a crash mid-release must leave
+        # the parent record in place (nothing was released anywhere).
+        self._release_pieces(self._projections[commitment_id])
+        commitment, _ = self._unregister(commitment_id)
+        return commitment
+
+    def _release_pieces(self, pieces) -> None:
+        entries = []
+        for calendar, key, piece_id in pieces:
+            if self._shards.get(key) is not calendar:
+                continue  # shard already dropped by expire
+            entries.append((key, (self._key, key, piece_id)))
+        if not entries:
+            return
+        by_worker = self._group_items(entries)
+        results = self._scatter_items(
+            "release_pieces", by_worker, mutating=True, rows=len(entries)
+        )
+        self._prune_dropped(results)
+
+    def expire(self, now: float) -> int:
+        now = float(now)
+        width = self.shard_seconds
+        dead_keys = [k for k in self._shards if (k + 1) * width <= now]
+        dead_set = set(dead_keys)
+        behind_ids = [
+            commitment_id
+            for key in self._by_end_shard
+            if (key + 1) * width <= now
+            for commitment_id in self._by_end_shard[key]
+        ]
+        boundary_ids = [
+            commitment_id
+            for key in self._by_end_shard
+            if key * width < now < (key + 1) * width
+            for commitment_id in list(self._by_end_shard[key])
+            if self._commitments[commitment_id].end <= now
+        ]
+        drops: dict[int, list] = {}
+        for key in dead_keys:
+            drops.setdefault(self._engine.worker_index(key), []).append(
+                (self._key, key)
+            )
+        releases: dict[int, list] = {}
+        for commitment_id in boundary_ids:
+            for calendar, key, piece_id in self._projections[commitment_id]:
+                if key in dead_set or self._shards.get(key) is not calendar:
+                    continue  # the piece's history is being dropped wholesale
+                releases.setdefault(self._engine.worker_index(key), []).append(
+                    (self._key, key, piece_id)
+                )
+        touched = sorted(set(drops) | set(releases))
+        if touched:
+            calls = [
+                (
+                    index,
+                    "expire_ops",
+                    {"drop": drops.get(index, []), "release": releases.get(index, [])},
+                )
+                for index in touched
+            ]
+            results = self._engine.scatter(
+                calls,
+                mutating=True,
+                rows=len(dead_keys) + sum(len(v) for v in releases.values()),
+            )
+        else:
+            results = []
+        for key in dead_keys:
+            del self._shards[key]
+            self.shards_dropped += 1
+        for commitment_id in behind_ids + boundary_ids:
+            self._unregister(commitment_id)
+        self._prune_dropped(results)
+        return len(behind_ids) + len(boundary_ids)
+
+    # -- fingerprint --------------------------------------------------------------
+
+    def fingerprint(self) -> tuple:
+        """The exact :meth:`ShardedCalendar.fingerprint` tuple, with shard
+        state gathered from the worker processes."""
+        shard_rows: list[tuple] = []
+        if self._shards:
+            results = self._engine.scatter(
+                [
+                    (index, "fingerprint_shards", {"key": self._key})
+                    for index in range(len(self._engine._workers))
+                ]
+            )
+            for listed in results:
+                shard_rows.extend(listed)
+        return (
+            "sharded",
+            self.capacity_kbps,
+            self.shard_seconds,
+            self.shards_dropped,
+            tuple(sorted(shard_rows)),
+            _commitment_rows(self._commitments),
+            tuple(
+                sorted(
+                    (key, tuple(sorted(ids)))
+                    for key, ids in self._by_end_shard.items()
+                )
+            ),
+            tuple(
+                sorted(
+                    (cid, tuple((key, piece_id) for _, key, piece_id in pieces))
+                    for cid, pieces in self._projections.items()
+                )
+            ),
+        )

@@ -1,0 +1,314 @@
+"""Shard-engine worker: one process owning a stripe of calendar shards.
+
+The parent engine stripes shard keys across workers
+(``shard_key % num_workers``) and sends each worker **one message per
+operation** — every message carries the full batch of pieces that land
+on this worker, so an operation never has two messages in flight to the
+same worker (the pipe-deadlock discipline).  The worker applies the
+batch against its local :class:`~repro.admission.calendar.CapacityCalendar`
+shards and replies ``(seq, ok, result)``.
+
+Determinism is the load-bearing property: a worker that replays the same
+message sequence from the same snapshot allocates the same per-shard
+commitment ids — which is what lets the supervisor restart a crashed
+worker from its last snapshot + journal and end up byte-identical (see
+``docs/scaling.md`` and the fault suite in ``tests/shardengine/``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.admission.calendar import CapacityCalendar
+
+
+def _attach_shm(cache: dict, name: str):
+    """Attach a shared-memory block by name, caching the mapping."""
+    found = cache.get(name)
+    if found is None:
+        from multiprocessing import resource_tracker, shared_memory
+
+        found = shared_memory.SharedMemory(name=name)
+        try:
+            # Attaching registers the segment with this process's resource
+            # tracker, which would unlink it when the worker exits even
+            # though the parent still owns it; undo the registration.
+            resource_tracker.unregister(found._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:
+            pass
+        cache[name] = found
+    return found
+
+
+class _WorkerState:
+    """All shard state one worker holds, plus the message handlers."""
+
+    def __init__(self, worker_index: int, shard_seconds: float) -> None:
+        self.worker_index = worker_index
+        self.shard_seconds = float(shard_seconds)
+        self.configs: dict[tuple, int] = {}  # cal key -> capacity_kbps
+        self.shards: dict[tuple, dict[int, CapacityCalendar]] = {}
+        self.shm: dict = {}
+
+    def _shard(self, key: tuple, shard_key: int) -> CapacityCalendar:
+        by_key = self.shards.setdefault(key, {})
+        found = by_key.get(shard_key)
+        if found is None:
+            found = CapacityCalendar(self.configs[key])
+            by_key[shard_key] = found
+        return found
+
+    def _existing(self, key: tuple, shard_key: int) -> CapacityCalendar | None:
+        by_key = self.shards.get(key)
+        return None if by_key is None else by_key.get(shard_key)
+
+    def _drop_if_empty(self, key: tuple, shard_key: int, dropped: list) -> None:
+        calendar = self._existing(key, shard_key)
+        if (
+            calendar is not None
+            and calendar.commitment_count == 0
+            and calendar.boundary_count == 0
+        ):
+            del self.shards[key][shard_key]
+            dropped.append((key, shard_key))
+
+    # -- handlers (one per message op) --------------------------------------------
+
+    def register(self, payload):
+        self.configs[payload["key"]] = int(payload["capacity_kbps"])
+        return None
+
+    def commit_pieces(self, payload):
+        """Commit one piece per overlapped shard; atomic within this worker."""
+        applied: list[tuple] = []
+        ids: list[int] = []
+        try:
+            for key, shard_key, bw, start, end, tag in payload["items"]:
+                piece = self._shard(key, shard_key).commit(bw, start, end, tag)
+                applied.append((key, shard_key, piece.commitment_id))
+                ids.append(piece.commitment_id)
+        except Exception:
+            dropped: list = []
+            for key, shard_key, piece_id in reversed(applied):
+                self.shards[key][shard_key].release(piece_id)
+                self._drop_if_empty(key, shard_key, dropped)
+            raise
+        return ids
+
+    def commit_chunks(self, payload):
+        """Apply ordered per-shard ``commit_batch`` chunks; returns ids per chunk."""
+        tag = payload["tag"]
+        track = payload["track"]
+        out = []
+        for key, shard_key, bws, starts, ends in payload["chunks"]:
+            committed = self._shard(key, shard_key).commit_batch(
+                bws, starts, ends, tag=tag, track=track
+            )
+            if track:
+                out.append(np.fromiter(
+                    (piece.commitment_id for piece in committed),
+                    dtype=np.int64,
+                    count=len(committed),
+                ))
+            else:
+                out.append(None)
+        return out
+
+    def release_pieces(self, payload):
+        released = 0
+        dropped: list = []
+        for key, shard_key, piece_id in payload["items"]:
+            calendar = self._existing(key, shard_key)
+            if calendar is None:
+                continue  # shard already dropped (stale piece)
+            calendar.release(piece_id)
+            released += 1
+            self._drop_if_empty(key, shard_key, dropped)
+        return {"released": released, "dropped": dropped}
+
+    def expire_ops(self, payload):
+        """Whole-shard drops plus boundary-shard piecewise releases, one message."""
+        for key, shard_key in payload["drop"]:
+            by_key = self.shards.get(key)
+            if by_key is not None:
+                by_key.pop(shard_key, None)
+        return self.release_pieces({"items": payload["release"]})
+
+    def peak_pieces(self, payload):
+        out = []
+        for key, shard_key, start, end in payload["items"]:
+            calendar = self._existing(key, shard_key)
+            out.append(0 if calendar is None else calendar.peak_commitment(start, end))
+        return out
+
+    def tag_peak_pieces(self, payload):
+        out = []
+        for key, shard_key, tag, start, end in payload["items"]:
+            calendar = self._existing(key, shard_key)
+            out.append(0 if calendar is None else calendar.tag_peak(tag, start, end))
+        return out
+
+    def mean_pieces(self, payload):
+        out = []
+        for key, shard_key, start, end in payload["items"]:
+            calendar = self._existing(key, shard_key)
+            out.append(0.0 if calendar is None else calendar.mean_commitment(start, end))
+        return out
+
+    def stats_pieces(self, payload):
+        out = []
+        for key, shard_key in payload["items"]:
+            calendar = self._existing(key, shard_key)
+            if calendar is None:
+                out.append((0, 0))
+            else:
+                out.append((calendar.commitment_count, calendar.boundary_count))
+        return out
+
+    def piece_op(self, payload):
+        """One commitment-surgery call on one shard (split/fuse/transfer/get)."""
+        calendar = self.shards[payload["key"]][payload["shard_key"]]
+        return getattr(calendar, payload["method"])(*payload["args"])
+
+    def bulk_peak(self, payload):
+        """Answer this worker's stripe of a vectorized peak query in place.
+
+        The parent wrote ``starts``/``ends`` into a shared input block and
+        reads the per-worker maxima back from this worker's slab of the
+        shared output block — the arrays never cross the pipe.
+        """
+        count = payload["count"]
+        live = (payload["in_name"], payload["out_name"])
+        for name in [n for n in self.shm if n not in live]:
+            self.shm.pop(name).close()  # parent grew the blocks; drop the old ones
+        shm_in = _attach_shm(self.shm, payload["in_name"])
+        shm_out = _attach_shm(self.shm, payload["out_name"])
+        windows = np.ndarray((2, count), dtype=np.float64, buffer=shm_in.buf)
+        starts, ends = windows[0], windows[1]
+        out = np.ndarray(
+            (count,),
+            dtype=np.int64,
+            buffer=shm_out.buf,
+            offset=payload["slot"] * count * 8,
+        )
+        out[:] = 0
+        key = payload["key"]
+        width = self.shard_seconds
+        for shard_key in payload["shard_keys"]:
+            calendar = self._existing(key, shard_key)
+            if calendar is None:
+                continue
+            shard_start, shard_end = shard_key * width, (shard_key + 1) * width
+            mask = (starts < shard_end) & (ends > shard_start)
+            if not mask.any():
+                continue
+            clipped_starts = np.maximum(starts[mask], shard_start)
+            clipped_ends = np.minimum(ends[mask], shard_end)
+            out[mask] = np.maximum(
+                out[mask], calendar.bulk_peak(clipped_starts, clipped_ends)
+            )
+        return None
+
+    def fingerprint_shards(self, payload):
+        key = payload["key"]
+        return [
+            (shard_key, calendar.fingerprint())
+            for shard_key, calendar in self.shards.get(key, {}).items()
+        ]
+
+    def list_shards(self, payload):
+        return [
+            (key, shard_key)
+            for key, by_key in self.shards.items()
+            for shard_key in by_key
+        ]
+
+    def snapshot(self, payload):
+        return {
+            "configs": dict(self.configs),
+            "shards": [
+                (key, shard_key, calendar.state())
+                for key, by_key in self.shards.items()
+                for shard_key, calendar in by_key.items()
+            ],
+        }
+
+    def restore(self, payload):
+        snapshot = payload["snapshot"]
+        self.configs = dict(snapshot["configs"])
+        self.shards = {}
+        for key, shard_key, state in snapshot["shards"]:
+            self.shards.setdefault(key, {})[shard_key] = CapacityCalendar.from_state(
+                state
+            )
+        return None
+
+    def metrics(self, payload):
+        from repro.telemetry import get_registry
+        from repro.telemetry.export import snapshot as metrics_snapshot
+
+        registry = get_registry()
+        return metrics_snapshot(registry) if registry.enabled else []
+
+    def debug_sleep(self, payload):
+        time.sleep(payload["seconds"])
+        return None
+
+
+def worker_main(
+    conn, worker_index: int, shard_seconds: float, telemetry_enabled: bool
+) -> None:
+    """Message loop of one shard worker (the ``Process`` target)."""
+    if telemetry_enabled:
+        from repro.telemetry import set_registry
+        from repro.telemetry.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        set_registry(registry)
+        ops_total = registry.counter(
+            "shardengine_worker_ops_total",
+            "Messages processed by shard-engine workers, by op.",
+            ("worker", "op"),
+        )
+        shards_gauge = registry.gauge(
+            "shardengine_worker_shards",
+            "Calendar shards currently held by each shard-engine worker.",
+            ("worker",),
+        )
+    else:
+        ops_total = shards_gauge = None
+    state = _WorkerState(worker_index, shard_seconds)
+    label = str(worker_index)
+    while True:
+        try:
+            seq, op, payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        if op == "shutdown":
+            try:
+                conn.send((seq, True, None))
+            except (BrokenPipeError, OSError):
+                pass
+            break
+        try:
+            result = getattr(state, op)(payload)
+        except Exception as exc:  # noqa: BLE001 - forwarded to the parent
+            reply = (seq, False, (type(exc).__name__, str(exc)))
+        else:
+            reply = (seq, True, result)
+        if ops_total is not None:
+            ops_total.labels(label, op).inc()
+            shards_gauge.labels(label).set(
+                sum(len(by_key) for by_key in state.shards.values())
+            )
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+    for shm in state.shm.values():
+        try:
+            shm.close()
+        except Exception:
+            pass

@@ -1,0 +1,190 @@
+"""Property: checkpoint + event tail == genesis replay.
+
+A :class:`MarketIndexer` is a pure function of the event prefix it has
+applied, so restoring a snapshot taken at position P and then consuming
+the tail (by pull ``sync()`` or by bus ``deliver()``) must land on
+exactly the state a fresh indexer reaches by replaying all events from
+genesis.  Hypothesis drives real market activity (list / buy / cancel /
+relist) with checkpoints and bus attaches taken at arbitrary cut points;
+canonical ``snapshot()`` equality is the oracle.
+"""
+
+import random
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from tests.marketdata.conftest import RawMarket
+
+from repro.contracts.market import LISTING_TYPE
+from repro.marketdata import EventBus, MarketIndexer, SharedMarketIndex
+
+INTERFACES = ((1, True), (1, False), (2, True))
+GRANULARITIES = (30, 60, 120)
+HORIZON = 7200
+MIN_BW = 100
+
+
+class SnapshotRoundTripMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.market = RawMarket(seed=17)
+        self.primary = MarketIndexer(self.market.ledger, self.market.marketplace)
+        self.shared = SharedMarketIndex(self.primary, checkpoint_every=4)
+        self.followers: list[MarketIndexer] = []  # bus-fed + pull-synced clones
+        self.rng = random.Random(71)
+
+    def _listings(self):
+        return sorted(
+            (
+                obj
+                for obj in self.market.ledger.objects.values()
+                if obj.type_tag == LISTING_TYPE
+            ),
+            key=lambda obj: obj.object_id,
+        )
+
+    # -- market activity ---------------------------------------------------------
+
+    @rule(
+        slot=st.integers(0, 40),
+        slots=st.integers(1, 30),
+        granularity=st.sampled_from(GRANULARITIES),
+        interface=st.sampled_from(INTERFACES),
+        bw=st.sampled_from([1_000, 10_000, 50_000]),
+        price=st.integers(10, 200),
+    )
+    def list_asset(self, slot, slots, granularity, interface, bw, price):
+        start = slot * granularity
+        expiry = min(start + slots * granularity, HORIZON)
+        if expiry <= start:
+            return
+        self.market.issue_and_list(
+            interface[0], interface[1], bw, start, expiry,
+            price=price, granularity=granularity,
+        )
+
+    @rule(pick=st.integers(0, 1_000_000), slots=st.integers(1, 20))
+    def buy_rectangle(self, pick, slots):
+        listings = self._listings()
+        if not listings:
+            return
+        listing = listings[pick % len(listings)]
+        asset = self.market.ledger.objects.get(listing.payload["asset"])
+        if asset is None:
+            return
+        payload = asset.payload
+        start = payload["start"]
+        expiry = min(start + slots * payload["granularity"], payload["expiry"])
+        if expiry <= start:
+            return
+        self.market.buy(listing.object_id, start, expiry, payload["bandwidth_kbps"])
+
+    @rule(pick=st.integers(0, 1_000_000))
+    def cancel_listing(self, pick):
+        listings = self._listings()
+        if not listings:
+            return
+        self.market.cancel(listings[pick % len(listings)].object_id)
+
+    # -- checkpoint / attach at arbitrary cut points -----------------------------
+
+    @rule()
+    def snapshot_restore_round_trip(self):
+        """snapshot -> restore -> snapshot is the identity, mid-stream."""
+        self.primary.sync()
+        checkpoint = self.primary.snapshot()
+        clone = MarketIndexer.from_snapshot(self.market.ledger, checkpoint)
+        assert clone.snapshot() == checkpoint
+        self.followers.append(clone)  # catches the tail via pull sync
+
+    @rule()
+    def attach_through_the_bus(self):
+        """SharedMarketIndex.attach clones the checkpoint, bus feeds the tail."""
+        self.followers.append(self.shared.attach())
+
+    @rule()
+    def pump_the_bus(self):
+        self.shared.pump()
+
+    # -- the property ------------------------------------------------------------
+
+    @invariant()
+    def every_view_equals_genesis_replay(self):
+        if not hasattr(self, "market"):
+            return
+        genesis = MarketIndexer(self.market.ledger, self.market.marketplace)
+        genesis.sync()
+        truth = genesis.snapshot()
+        self.shared.pump()  # push path for the primary + bus-fed followers
+        assert self.primary.snapshot() == truth
+        for follower in self.followers:
+            follower.sync()  # pull path composes with any pushes already seen
+            assert follower.snapshot() == truth
+
+
+SnapshotRoundTripMachine.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=14, deadline=None
+)
+TestSnapshotRoundTrip = SnapshotRoundTripMachine.TestCase
+
+
+# -- deterministic edges ------------------------------------------------------
+
+
+def test_restore_rejects_foreign_marketplace():
+    market = RawMarket(seed=3)
+    indexer = MarketIndexer(market.ledger, market.marketplace)
+    snapshot = indexer.snapshot()
+    snapshot["marketplace"] = "someone-else"
+    with pytest.raises(ValueError):
+        indexer.restore(snapshot)
+
+
+def test_attach_never_replays_from_genesis():
+    market = RawMarket(seed=5)
+    for slot in range(6):
+        market.issue_and_list(1, True, 10_000, slot * 60, (slot + 10) * 60)
+    primary = MarketIndexer(market.ledger, market.marketplace)
+    shared = SharedMarketIndex(primary, checkpoint_every=1024)
+    clone = shared.attach()
+    # The clone starts at the checkpoint cursor with zero events applied
+    # itself — it inherited the listings without touching ledger history.
+    assert clone.position == primary.position
+    assert clone.count == primary.count == 6
+    assert clone.events_applied == primary.events_applied
+    # New activity reaches it through one pump.
+    market.issue_and_list(2, True, 10_000, 0, 600)
+    assert shared.pump() > 0
+    assert clone.count == primary.count == 7
+
+
+def test_stale_checkpoints_refresh_on_attach():
+    market = RawMarket(seed=6)
+    primary = MarketIndexer(market.ledger, market.marketplace)
+    shared = SharedMarketIndex(primary, checkpoint_every=2)
+    first = shared.attach()
+    for slot in range(3):  # more than checkpoint_every new events
+        market.issue_and_list(1, True, 10_000, slot * 60, (slot + 5) * 60)
+    second = shared.attach()
+    assert second.count == 3  # fresh checkpoint folded the new listings in
+    shared.pump()
+    assert first.count == second.count == 3
+
+
+def test_bus_unsubscribe_stops_delivery_but_sync_still_works():
+    market = RawMarket(seed=8)
+    bus = EventBus(market.ledger)
+    indexer = MarketIndexer(market.ledger, market.marketplace)
+    bus.subscribe(indexer)
+    market.issue_and_list(1, True, 10_000, 0, 600)
+    assert bus.pump() > 0
+    assert indexer.count == 1
+    bus.unsubscribe(indexer)
+    market.issue_and_list(1, True, 10_000, 600, 1200)
+    assert bus.pump() == 0
+    assert indexer.count == 1
+    indexer.sync()  # detached indexers fall back to pulling
+    assert indexer.count == 2

@@ -1,0 +1,91 @@
+"""Experiments run unchanged on every shard-engine backend.
+
+The boundary's headline promise: pointing a whole workload at the
+multiprocess backend changes *where* calendars live, never *what* they
+answer — every buyer's admission outcome, price, and peak is identical
+to the in-process run, seed for seed.
+"""
+
+from repro.netsim import (
+    auction_experiment,
+    flex_market_experiment,
+    linear_path,
+    path_contention_experiment,
+)
+from repro.shardengine import EngineSpec
+
+SIM_SHARD = 600.0
+MP = EngineSpec(kind="multiprocess", shard_seconds=SIM_SHARD, num_workers=2)
+IN_PROCESS = EngineSpec(kind="sharded", shard_seconds=SIM_SHARD)
+
+
+def test_auction_experiment_outcomes_identical_across_backends():
+    topology, path = linear_path(3)
+    results = [
+        auction_experiment(topology, path, duration=0, seed=3, engine=engine)
+        for engine in (IN_PROCESS, MP)
+    ]
+
+    def outcomes(result):
+        return (
+            [
+                (b.buyer, b.posted_admitted, b.posted_paid_mist, b.posted_reason,
+                 b.auction_won, b.auction_paid_mist, b.auction_reason)
+                for b in result.buyers
+            ],
+            result.posted_revenue_mist,
+            result.auction_revenue_mist,
+            result.clearing_price_micromist,
+        )
+
+    assert outcomes(results[0]) == outcomes(results[1])
+
+
+def test_flex_market_experiment_outcomes_identical_across_backends():
+    results = [
+        flex_market_experiment(duration=0.3, seed=1, engine=engine)
+        for engine in (IN_PROCESS, MP)
+    ]
+
+    def outcomes(result):
+        return (
+            [
+                (b.buyer, b.flex_start, b.offset, b.start, b.expiry,
+                 b.paid_price_mist, b.estimated_price_mist)
+                for b in result.buyers
+            ],
+            result.peak_window,
+            result.peak_price_micromist,
+            result.curve_prices,
+        )
+
+    assert outcomes(results[0]) == outcomes(results[1])
+
+
+def test_path_contention_outcomes_identical_across_backends():
+    topology, path = linear_path(3)
+    results = [
+        path_contention_experiment(topology, path, num_buyers=8, engine=engine)
+        for engine in (IN_PROCESS, MP)
+    ]
+
+    def outcomes(result):
+        return (
+            [
+                (b.buyer, b.admitted, b.failed_hop, b.reason)
+                for b in result.buyers
+            ],
+            result.hop_peaks_kbps,
+            result.rollback_restores_state,
+            result.oversold,
+        )
+
+    assert outcomes(results[0]) == outcomes(results[1])
+
+
+def test_path_contention_rollback_holds_on_the_multiprocess_backend():
+    """The pathadm screen/commit fingerprints see through the boundary."""
+    topology, path = linear_path(4)
+    result = path_contention_experiment(topology, path, num_buyers=6, engine=MP)
+    assert result.rollback_restores_state
+    assert not result.oversold

@@ -1,0 +1,264 @@
+"""Shard-engine boundary tests: specs, backends, surface equivalence.
+
+The multiprocess backend must be indistinguishable from the in-process
+:class:`ShardedCalendar` it mirrors — same admission answers, same
+commitment ids, byte-identical fingerprints — across the whole message
+surface (commit, batches, release, expiry, surgery, vectorized peaks).
+"""
+
+import numpy as np
+import pytest
+
+from repro.admission import CapacityCalendar, ShardedCalendar
+from repro.pathadm import calendar_fingerprint
+from repro.shardengine import (
+    MONOLITHIC,
+    MULTIPROCESS,
+    SHARDED,
+    EngineSpec,
+    build_engine,
+)
+
+SHARD = 100.0
+KEY = ("iface", 1, True)
+CAPACITY = 100_000
+
+
+@pytest.fixture
+def engines():
+    """An in-process sharded reference and a 2-worker multiprocess engine."""
+    reference = ShardedCalendar(CAPACITY, shard_seconds=SHARD)
+    engine = build_engine(
+        EngineSpec(kind=MULTIPROCESS, shard_seconds=SHARD, num_workers=2)
+    )
+    try:
+        yield reference, engine.calendar(KEY, CAPACITY), engine
+    finally:
+        engine.close()
+
+
+def assert_twins(reference, calendar) -> None:
+    assert calendar_fingerprint(calendar) == calendar_fingerprint(reference)
+
+
+# -- spec resolution ----------------------------------------------------------
+
+
+def test_resolve_none_is_monolithic():
+    spec = EngineSpec.resolve(None)
+    assert spec.kind == MONOLITHIC
+    assert spec.shard_seconds is None
+
+
+def test_resolve_shard_seconds_selects_in_process_sharding():
+    spec = EngineSpec.resolve(None, shard_seconds=3600.0)
+    assert (spec.kind, spec.shard_seconds) == (SHARDED, 3600.0)
+
+
+def test_resolve_kind_string_defaults_the_width():
+    spec = EngineSpec.resolve(MULTIPROCESS)
+    assert spec.kind == MULTIPROCESS
+    assert spec.shard_seconds == 86_400.0
+    assert EngineSpec.resolve(MULTIPROCESS, 60.0).shard_seconds == 60.0
+
+
+def test_resolve_passes_specs_through():
+    spec = EngineSpec(kind=SHARDED, shard_seconds=10.0)
+    assert EngineSpec.resolve(spec, shard_seconds=99.0) is spec
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        EngineSpec(kind="quantum")
+    with pytest.raises(ValueError):
+        EngineSpec(kind=MONOLITHIC, shard_seconds=10.0)
+    with pytest.raises(ValueError):
+        EngineSpec(kind=SHARDED)
+    with pytest.raises(ValueError):
+        EngineSpec(kind=MULTIPROCESS, shard_seconds=10.0, num_workers=0)
+
+
+def test_in_process_backends_build_plain_calendars():
+    mono = build_engine(EngineSpec(kind=MONOLITHIC))
+    assert type(mono.calendar(KEY, CAPACITY)) is CapacityCalendar
+    assert mono.calendar(KEY, CAPACITY) is mono.calendar(KEY, CAPACITY)
+    sharded = build_engine(EngineSpec(kind=SHARDED, shard_seconds=SHARD))
+    calendar = sharded.calendar(KEY, CAPACITY)
+    assert type(calendar) is ShardedCalendar
+    assert calendar.shard_seconds == SHARD
+    mono.close()  # no-ops, must not raise
+    sharded.close()
+
+
+# -- multiprocess surface equivalence -----------------------------------------
+
+
+def test_commit_and_queries_match(engines):
+    reference, calendar, _ = engines
+    for cal in (reference, calendar):
+        cal.commit(500, 50.0, 250.0, "alice")  # spans 3 shards
+        cal.commit(300, 220.0, 280.0, "bob")
+        cal.commit(200, 0.0, 1000.0, "")  # spans 10 shards
+    assert calendar.peak_commitment(0, 1000) == reference.peak_commitment(0, 1000)
+    assert calendar.tag_peak("alice", 0, 300) == reference.tag_peak("alice", 0, 300)
+    assert calendar.mean_commitment(0, 1000) == reference.mean_commitment(0, 1000)
+    assert calendar.headroom(0, 1000) == reference.headroom(0, 1000)
+    assert calendar.commitment_count == reference.commitment_count
+    assert calendar.boundary_count == reference.boundary_count
+    assert_twins(reference, calendar)
+
+
+def test_commitment_ids_match_the_reference(engines):
+    reference, calendar, _ = engines
+    ref_ids = [reference.commit(100, i * 37.0, i * 37.0 + 90.0).commitment_id
+               for i in range(8)]
+    eng_ids = [calendar.commit(100, i * 37.0, i * 37.0 + 90.0).commitment_id
+               for i in range(8)]
+    assert eng_ids == ref_ids
+
+
+def test_try_commit_admits_and_rejects_identically(engines):
+    reference, calendar, _ = engines
+    assert calendar.try_commit(CAPACITY, 0.0, 150.0) is not None
+    assert reference.try_commit(CAPACITY, 0.0, 150.0) is not None
+    assert calendar.try_commit(1, 100.0, 120.0) is None
+    assert reference.try_commit(1, 100.0, 120.0) is None
+    assert_twins(reference, calendar)
+
+
+def test_commit_batch_tracked_and_untracked_match(engines):
+    reference, calendar, _ = engines
+    rng = np.random.default_rng(7)
+    starts = rng.integers(0, 900, 200).astype(np.float64)
+    ends = starts + rng.integers(1, 350, 200)
+    bandwidths = rng.integers(1, 500, 200)
+    ref_pieces = reference.commit_batch(bandwidths, starts, ends, tag="t", track=True)
+    eng_pieces = calendar.commit_batch(bandwidths, starts, ends, tag="t", track=True)
+    assert [p.commitment_id for p in eng_pieces] == [
+        p.commitment_id for p in ref_pieces
+    ]
+    reference.commit_batch(bandwidths, starts + 5, ends + 5, track=False)
+    calendar.commit_batch(bandwidths, starts + 5, ends + 5, track=False)
+    assert_twins(reference, calendar)
+
+
+def test_release_and_expire_match(engines):
+    reference, calendar, _ = engines
+    handles = []
+    for cal in (reference, calendar):
+        ids = [cal.commit(100, i * 50.0, i * 50.0 + 170.0, "x").commitment_id
+               for i in range(10)]
+        handles.append(ids)
+    for ref_id, eng_id in zip(handles[0][::2], handles[1][::2]):
+        released_ref = reference.release(ref_id)
+        released_eng = calendar.release(eng_id)
+        assert (released_eng.start, released_eng.end) == (
+            released_ref.start, released_ref.end,
+        )
+    assert reference.expire(260.0) == calendar.expire(260.0)
+    assert calendar.shards_dropped == reference.shards_dropped
+    assert_twins(reference, calendar)
+
+
+def test_release_unknown_commitment_raises_keyerror(engines):
+    _, calendar, _ = engines
+    with pytest.raises(KeyError):
+        calendar.release(12345)
+
+
+def test_surgery_ops_match(engines):
+    reference, calendar, _ = engines
+    for cal in (reference, calendar):
+        first = cal.commit(400, 0.0, 240.0, "a")
+        second = cal.commit(400, 240.0, 480.0, "a")
+        left, right = cal.split_time(first.commitment_id, 120.0)
+        low, high = cal.split_bandwidth(right.commitment_id, 150)
+        cal.transfer(low.commitment_id, "b")
+        _, second_high = cal.split_bandwidth(second.commitment_id, 150)
+        # time-adjacent, equal bandwidth, spanning a shard boundary
+        cal.fuse(high.commitment_id, second_high.commitment_id)
+    assert_twins(reference, calendar)
+
+
+def test_bulk_peak_matches_over_shared_memory(engines):
+    reference, calendar, _ = engines
+    rng = np.random.default_rng(11)
+    starts = rng.integers(0, 900, 500).astype(np.float64)
+    ends = starts + rng.integers(1, 350, 500)
+    bandwidths = rng.integers(1, 500, 500)
+    reference.commit_batch(bandwidths, starts, ends, track=False)
+    calendar.commit_batch(bandwidths, starts, ends, track=False)
+    probe_starts = rng.integers(0, 1200, 3000).astype(np.float64)
+    probe_ends = probe_starts + rng.integers(1, 400, 3000)
+    assert np.array_equal(
+        calendar.bulk_peak(probe_starts, probe_ends),
+        reference.bulk_peak(probe_starts, probe_ends),
+    )
+
+
+def test_errors_map_across_the_boundary(engines):
+    from repro.admission import AdmissionRejected
+
+    _, calendar, _ = engines
+    committed = calendar.commit(100, 0.0, 50.0)
+    # Worker-side ValueError arrives as a ValueError, not a crash.
+    with pytest.raises(ValueError):
+        calendar.split_bandwidth(committed.commitment_id, 100_000)
+    with pytest.raises(ValueError):
+        calendar.commit(100, 50.0, 50.0)  # empty window, parent-side check
+    with pytest.raises(AdmissionRejected):
+        calendar.admit(2 * CAPACITY, 0.0, 50.0)
+    # The calendar still works after mapped errors (no poisoned workers).
+    assert calendar.commitment_count == 1
+
+
+def test_checkpoint_then_restore_preserves_fingerprint(engines):
+    reference, calendar, engine = engines
+    rng = np.random.default_rng(3)
+    starts = rng.integers(0, 900, 50).astype(np.float64)
+    ends = starts + rng.integers(1, 350, 50)
+    bandwidths = rng.integers(1, 500, 50)
+    reference.commit_batch(bandwidths, starts, ends, track=False)
+    calendar.commit_batch(bandwidths, starts, ends, track=False)
+    engine.checkpoint()
+    # post-checkpoint traffic exercises snapshot + journal replay later
+    reference.commit(250, 10.0, 500.0, "tail")
+    calendar.commit(250, 10.0, 500.0, "tail")
+    assert_twins(reference, calendar)
+
+
+def test_engine_close_is_idempotent_and_reaps_workers(engines):
+    import os
+
+    _, calendar, engine = engines
+    calendar.commit(100, 0.0, 50.0)
+    pids = [engine.worker_pid(i) for i in range(2)]
+    engine.close()
+    engine.close()
+    for pid in pids:
+        with pytest.raises(OSError):
+            os.kill(pid, 0)
+
+
+def test_worker_metrics_merge_into_parent_registry():
+    from repro.telemetry import MetricsRegistry, set_registry
+
+    previous = set_registry(MetricsRegistry())
+    try:
+        engine = build_engine(
+            EngineSpec(kind=MULTIPROCESS, shard_seconds=SHARD, num_workers=2)
+        )
+        try:
+            calendar = engine.calendar(KEY, CAPACITY)
+            calendar.commit(100, 0.0, 250.0)
+            assert engine.collect_metrics() == 2
+            from repro.telemetry import get_registry
+
+            families = {f.name: f for f in get_registry().families()}
+            ops = families["shardengine_worker_ops_total"]
+            total = sum(child.value for _, child in ops.items())
+            assert total > 0
+        finally:
+            engine.close()
+    finally:
+        set_registry(previous)

@@ -1,0 +1,169 @@
+"""Crash-recovery tests: SIGKILL a worker, supervisor restores, retry wins.
+
+The contract under test (docs/scaling.md): when a worker dies
+mid-operation the whole pool restarts from the last snapshots plus the
+journal of operations committed *since* — the in-flight operation is
+excluded — so the calendars come back byte-identical to the moment
+before the failed call, the caller gets a clean retryable
+:class:`WorkerCrashed`, and a retry produces exactly what the original
+would have (same commitment ids included).
+"""
+
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.admission import ShardedCalendar
+from repro.pathadm import calendar_fingerprint
+from repro.shardengine import (
+    EngineError,
+    EngineRetryable,
+    EngineSpec,
+    WorkerCrashed,
+    build_engine,
+)
+
+SHARD = 100.0
+KEY = ("fault", 0, True)
+CAPACITY = 1_000_000
+
+
+@pytest.fixture
+def pair():
+    reference = ShardedCalendar(CAPACITY, shard_seconds=SHARD)
+    engine = build_engine(
+        EngineSpec(kind="multiprocess", shard_seconds=SHARD, num_workers=2)
+    )
+    try:
+        yield reference, engine.calendar(KEY, CAPACITY), engine
+    finally:
+        engine.close()
+
+
+def _seed(calendar) -> None:
+    for index in range(6):
+        calendar.commit(100 + index, index * 130.0, index * 130.0 + 200.0, "seed")
+
+
+def _batch():
+    rng = np.random.default_rng(99)
+    starts = rng.integers(0, 900, 40).astype(np.float64)
+    ends = starts + rng.integers(1, 350, 40)
+    bandwidths = rng.integers(1, 500, 40)
+    return bandwidths, starts, ends
+
+
+def test_worker_crashed_is_retryable():
+    assert issubclass(WorkerCrashed, EngineRetryable)
+    assert issubclass(EngineRetryable, EngineError)
+
+
+def test_sigkill_mid_commit_batch_rolls_back_byte_identically(pair):
+    reference, calendar, engine = pair
+    _seed(reference)
+    _seed(calendar)
+    engine.checkpoint()
+    # More traffic *after* the checkpoint: recovery must replay the
+    # journal tail, not just restore the snapshot.
+    reference.commit(777, 50.0, 450.0, "tail")
+    calendar.commit(777, 50.0, 450.0, "tail")
+    before = calendar_fingerprint(reference)
+    assert calendar_fingerprint(calendar) == before
+
+    bandwidths, starts, ends = _batch()
+    engine.inject_delay(1, 2.0)
+    os.kill(engine.worker_pid(1), signal.SIGKILL)
+    with pytest.raises(WorkerCrashed):
+        calendar.commit_batch(bandwidths, starts, ends, tag="doomed")
+
+    assert engine.restarts == 1
+    # The failed batch is invisible: byte-identical to pre-batch state.
+    assert calendar_fingerprint(calendar) == before
+
+    # The retry succeeds and matches the reference exactly — ids included,
+    # because the crashed attempt burned none.
+    ref_pieces = reference.commit_batch(bandwidths, starts, ends, tag="doomed")
+    eng_pieces = calendar.commit_batch(bandwidths, starts, ends, tag="doomed")
+    assert [p.commitment_id for p in eng_pieces] == [
+        p.commitment_id for p in ref_pieces
+    ]
+    assert calendar_fingerprint(calendar) == calendar_fingerprint(reference)
+
+
+def test_sigkill_while_parent_waits_on_reply(pair):
+    """Kill after the op reached the worker: the gather path recovers too."""
+    reference, calendar, engine = pair
+    _seed(reference)
+    _seed(calendar)
+    before = calendar_fingerprint(calendar)
+    bandwidths, starts, ends = _batch()
+
+    engine.inject_delay(0, 2.0)  # worker 0 sleeps; parent will block in gather
+    pid = engine.worker_pid(0)
+    killer = threading.Timer(0.3, os.kill, (pid, signal.SIGKILL))
+    killer.start()
+    try:
+        with pytest.raises(WorkerCrashed):
+            calendar.commit_batch(bandwidths, starts, ends)
+    finally:
+        killer.cancel()
+    assert engine.restarts == 1
+    assert calendar_fingerprint(calendar) == before
+    # Engine is fully usable after recovery.
+    calendar.commit(123, 0.0, 250.0, "after")
+    reference.commit(123, 0.0, 250.0, "after")
+    assert calendar_fingerprint(calendar) == calendar_fingerprint(reference)
+
+
+def test_crash_mid_release_leaves_commitment_intact(pair):
+    reference, calendar, engine = pair
+    _seed(reference)
+    _seed(calendar)
+    victim = calendar.commit(500, 20.0, 480.0, "victim")
+    reference.commit(500, 20.0, 480.0, "victim")
+    before = calendar_fingerprint(calendar)
+
+    engine.inject_delay(0, 2.0)
+    os.kill(engine.worker_pid(0), signal.SIGKILL)
+    with pytest.raises(WorkerCrashed):
+        calendar.release(victim.commitment_id)
+
+    assert calendar_fingerprint(calendar) == before
+    # Nothing was released anywhere: the retry still finds the commitment.
+    released = calendar.release(victim.commitment_id)
+    assert (released.start, released.end) == (20.0, 480.0)
+
+
+def test_repeated_crashes_keep_recovering(pair):
+    reference, calendar, engine = pair
+    _seed(reference)
+    _seed(calendar)
+    for round_index in range(2):
+        engine.inject_delay(1, 2.0)
+        os.kill(engine.worker_pid(1), signal.SIGKILL)
+        with pytest.raises(WorkerCrashed):
+            calendar.commit(50, 0.0, 950.0, f"doomed-{round_index}")
+        calendar.commit(50, 0.0, 950.0, f"retry-{round_index}")
+        reference.commit(50, 0.0, 950.0, f"retry-{round_index}")
+    assert engine.restarts == 2
+    assert calendar_fingerprint(calendar) == calendar_fingerprint(reference)
+
+
+def test_recovery_waits_out_slow_checkpointed_state(pair):
+    """Snapshot/journal state survives when the *other* worker dies."""
+    reference, calendar, engine = pair
+    _seed(reference)
+    _seed(calendar)
+    engine.checkpoint()
+    time.sleep(0.05)
+    engine.inject_delay(0, 2.0)
+    os.kill(engine.worker_pid(0), signal.SIGKILL)
+    with pytest.raises(WorkerCrashed):
+        calendar.commit(60, 0.0, 950.0, "doomed")
+    # Worker 1 was healthy but is restarted too (all-or-nothing pool):
+    # its state must have come back through its own snapshot + journal.
+    assert calendar_fingerprint(calendar) == calendar_fingerprint(reference)
