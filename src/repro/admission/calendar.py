@@ -342,6 +342,51 @@ class CapacityCalendar:
             self.release(commitment_id)
         return len(ended)
 
+    def reclaim(self, commitment_id: int, new_bandwidth_kbps: int) -> Commitment:
+        """Shrink a live commitment to ``new_bandwidth_kbps`` in place.
+
+        The no-show reclamation op: the freed ``old - new`` kbps returns
+        to the calendar over the commitment's whole window while the
+        record keeps its id, window and tag — so policer state, the tag
+        index, and marketplace references keyed by the commitment stay
+        valid.  Strictly partial: full reclamation is :meth:`release`.
+
+        >>> calendar = CapacityCalendar(capacity_kbps=1000)
+        >>> granted = calendar.admit(800, 0, 100)
+        >>> calendar.reclaim(granted.commitment_id, 200).bandwidth_kbps
+        200
+        >>> calendar.headroom(0, 100)
+        800
+        """
+        new_bandwidth_kbps = int(new_bandwidth_kbps)
+        commitment = self._commitments.get(commitment_id)
+        if commitment is None:
+            raise KeyError(f"unknown commitment {commitment_id}")
+        if not 0 < new_bandwidth_kbps < commitment.bandwidth_kbps:
+            raise ValueError(
+                f"reclaim target {new_bandwidth_kbps} kbps outside "
+                f"(0, {commitment.bandwidth_kbps})"
+            )
+        return self._resize(commitment, new_bandwidth_kbps)
+
+    def _resize(self, commitment: Commitment, new_bandwidth_kbps: int) -> Commitment:
+        """Unvalidated in-place bandwidth change, either direction.
+
+        The grow direction exists only for crash rollback (a worker that
+        half-applied a reclaim batch restores the old bandwidths through
+        it); canonical pruning makes the shrink-then-grow round trip
+        byte-identical, the same way commit-then-release is.
+        """
+        delta = new_bandwidth_kbps - commitment.bandwidth_kbps
+        lo, hi = self._ensure_boundaries(commitment.start, commitment.end)
+        levels = self._levels
+        levels[lo:hi] = [level + delta for level in levels[lo:hi]]
+        self._prune_endpoints(lo, hi)
+        resized = dataclasses.replace(commitment, bandwidth_kbps=new_bandwidth_kbps)
+        self._commitments[commitment.commitment_id] = resized
+        self._dirty = True
+        return resized
+
     # -- commitment surgery (mirrors asset split/fuse/transfer) -------------------
 
     def split_time(self, commitment_id: int, at: float) -> tuple[Commitment, Commitment]:

@@ -26,7 +26,6 @@ from repro.admission.policy import (
     AdmissionPolicy,
     AdmissionRequest,
     FirstComeFirstServed,
-    ProportionalShare,
 )
 from repro.admission.pricing import FlatPricer, Pricer
 from repro.admission.sharded import ShardedCalendar
@@ -394,12 +393,17 @@ class AdmissionController:
         """Per-bidder award cap seeding an auction's clearing rule.
 
         Returns:
-            ``max_fraction * capacity`` when the controller's policy is a
-            :class:`~repro.admission.policy.ProportionalShare`, else
+            ``max_fraction * capacity`` when the controller's policy
+            carries a share cap — :class:`~repro.admission.policy.ProportionalShare`,
+            or an :class:`~repro.admission.policy.OverbookingPolicy`
+            constructed with ``max_fraction`` (an ``isinstance`` check here
+            used to drop the cap silently the moment an AS switched to
+            overbooking, handing auction bidders an uncapped book) — else
             ``None`` (no cap).
         """
-        if isinstance(self.policy, ProportionalShare):
-            return int(self.policy.max_fraction * self.capacity_kbps(interface, is_ingress))
+        max_fraction = getattr(self.policy, "max_fraction", None)
+        if max_fraction:
+            return int(max_fraction * self.capacity_kbps(interface, is_ingress))
         return None
 
     def open_auction(

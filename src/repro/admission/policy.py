@@ -137,17 +137,45 @@ class ProportionalShare(FirstComeFirstServed):
 
 
 class OverbookingPolicy(AdmissionPolicy):
-    """Admit up to ``factor * capacity``, betting that demand won't all show."""
+    """Admit up to ``factor * capacity``, betting that demand won't all show.
+
+    ``max_fraction`` optionally keeps :class:`ProportionalShare`'s
+    per-buyer cap alive under overbooking.  The cap is enforced against
+    the *physical* capacity, not the overbooked limit: the share cap is a
+    promise about the link a buyer can corner, and the link does not get
+    bigger because the AS bet on no-shows — when the bet is lost and
+    everyone shows up, a buyer still holds at most ``max_fraction`` of
+    what physically exists.
+    """
 
     name = "overbooking"
 
-    def __init__(self, factor: float = 1.5) -> None:
+    def __init__(self, factor: float = 1.5, max_fraction: float | None = None) -> None:
         if factor < 1:
             raise ValueError("overbooking factor must be >= 1")
+        if max_fraction is not None and not 0 < max_fraction <= 1:
+            raise ValueError("max_fraction must be in (0, 1]")
         self.factor = factor
+        self.max_fraction = max_fraction
+
+    def limit_factor(self, calendar: CapacityCalendar) -> float:
+        """The overbooking factor in force for this calendar (static here;
+        :class:`repro.reclaim.AdaptiveOverbooking` steers it per interface)."""
+        return self.factor
 
     def admit(self, calendar: CapacityCalendar, request: AdmissionRequest) -> AdmissionDecision:
-        limit = int(self.factor * calendar.capacity_kbps)
+        if self.max_fraction is not None:
+            buyer_cap = int(self.max_fraction * calendar.capacity_kbps)
+            buyer_peak = calendar.tag_peak(request.buyer, request.start, request.end)
+            if buyer_peak + request.bandwidth_kbps > buyer_cap:
+                return AdmissionDecision(
+                    False,
+                    f"buyer {request.buyer!r} would hold "
+                    f"{buyer_peak + request.bandwidth_kbps} of {buyer_cap} kbps "
+                    f"allowed ({self.max_fraction:.0%} share cap, physical)",
+                )
+        factor = self.limit_factor(calendar)
+        limit = int(factor * calendar.capacity_kbps)
         peak = calendar.peak_commitment(request.start, request.end)
         if peak + request.bandwidth_kbps > limit:
             return AdmissionDecision(
@@ -158,4 +186,4 @@ class OverbookingPolicy(AdmissionPolicy):
         commitment = calendar.commit(
             request.bandwidth_kbps, request.start, request.end, tag=request.buyer
         )
-        return AdmissionDecision(True, f"fits under {self.factor}x overbooking", commitment)
+        return AdmissionDecision(True, f"fits under {factor}x overbooking", commitment)

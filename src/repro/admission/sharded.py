@@ -387,6 +387,30 @@ class ShardedCalendar:
                     released += 1
         return released
 
+    def reclaim(self, commitment_id: int, new_bandwidth_kbps: int) -> Commitment:
+        """Shrink a live commitment in place across every shard it touches.
+
+        Piece ids stay stable (like :meth:`transfer`), so the projections
+        and the end-shard index are untouched; pieces whose shard was
+        dropped by :meth:`expire` are skipped.  Strictly partial — full
+        reclamation is :meth:`release`.
+        """
+        new_bandwidth_kbps = int(new_bandwidth_kbps)
+        commitment = self._commitments.get(commitment_id)
+        if commitment is None:
+            raise KeyError(f"unknown commitment {commitment_id}")
+        if not 0 < new_bandwidth_kbps < commitment.bandwidth_kbps:
+            raise ValueError(
+                f"reclaim target {new_bandwidth_kbps} kbps outside "
+                f"(0, {commitment.bandwidth_kbps})"
+            )
+        for calendar, key, piece_id in self._projections[commitment_id]:
+            if self._shards.get(key) is calendar:
+                calendar.reclaim(piece_id, new_bandwidth_kbps)
+        shrunk = dataclasses.replace(commitment, bandwidth_kbps=new_bandwidth_kbps)
+        self._commitments[commitment_id] = shrunk
+        return shrunk
+
     # -- commitment surgery (mirrors asset split/fuse/transfer) -------------------
 
     def split_time(self, commitment_id: int, at: float) -> tuple[Commitment, Commitment]:

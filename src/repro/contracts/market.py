@@ -15,10 +15,12 @@ atomic multi-hop purchase either pays every AS or nobody (C1/atomicity).
 
 Every listing state change emits an event carrying the full listing
 snapshot — ``Listed`` (new listing), ``Relisted`` (a sale remainder kept
-on the market under a fresh listing), ``Delisted`` (seller cancel), and
+on the market under a fresh listing), ``Delisted`` (seller cancel),
 ``Sold`` (with ``listing_closed`` or the surviving listing's ``remaining``
-rectangle) — so an off-chain :class:`~repro.marketdata.MarketIndexer` can
-track the market incrementally and never needs to rescan the object store.
+rectangle), and ``Reclaimed`` (the provenance marker preceding a listing
+whose supply was reclaimed from a no-show reservation) — so an off-chain
+:class:`~repro.marketdata.MarketIndexer` can track the market
+incrementally and never needs to rescan the object store.
 
 Beyond posted-price listings, the contract runs **sealed-bid uniform-price
 auctions** per asset window (``create_auction`` / ``place_bid`` /
@@ -106,8 +108,19 @@ class MarketContract(Contract):
         marketplace: str,
         asset: str,
         price_micromist_per_unit: int,
+        provenance: dict | None = None,
     ) -> dict:
-        """List an asset for sale; the marketplace takes custody of it."""
+        """List an asset for sale; the marketplace takes custody of it.
+
+        ``provenance`` marks a listing whose bandwidth was *reclaimed*
+        from a no-show reservation (``{"res_id", "original_holder",
+        "reclaimed_kbps", ...}``): a ``Reclaimed`` event carrying the
+        listing snapshot plus the provenance lands immediately before the
+        ``Listed`` event, so an off-chain indexer can attribute the
+        supply without reading the object store.  The seller is the
+        listing AS either way — a later sale pays the AS, never the
+        original holder (whose asset the reclamation did not touch).
+        """
         market = ctx.take_shared(marketplace, MARKETPLACE_TYPE)
         ctx.require(ctx.sender in market.payload["sellers"], "seller not registered")
         ctx.require(price_micromist_per_unit > 0, "price must be positive")
@@ -125,6 +138,11 @@ class MarketContract(Contract):
         )
         market.payload["listing_count"] += 1
         ctx.mutate(market)
+        if provenance is not None:
+            ctx.emit(
+                "Reclaimed",
+                {**_listing_snapshot(listing, asset_object), "provenance": dict(provenance)},
+            )
         ctx.emit("Listed", _listing_snapshot(listing, asset_object))
         return {"listing": listing.object_id}
 

@@ -24,6 +24,7 @@ listing price.
 from __future__ import annotations
 
 import json
+import math
 import random
 from dataclasses import dataclass
 
@@ -161,6 +162,14 @@ class AsService:
         # (path auction id, leg index), plus settled results.
         self.path_legs: dict[tuple[str, int], PathLegRecord] = {}
         self.path_settlements: list[PathSettlementRecord] = []
+        # No-show reclamation (armed by enable_reclamation).
+        self.reclamation = None
+        self._relist_marketplace: str | None = None
+        self._relist_base_micromist: int | None = None
+        self._relist_granularity = DEFAULT_GRANULARITY
+        self._relist_min_bandwidth = DEFAULT_MIN_BANDWIDTH
+        # (event, listing id or None, reason) per reclaimed reservation.
+        self.relisted: list[tuple[object, str | None, str]] = []
         registry = get_registry()
         self._telemetry = registry.enabled
         self._m_deliveries = registry.counter(
@@ -960,6 +969,19 @@ class AsService:
             self._rollback_admissions(admissions)
             self._allocator(ingress_if).release(res_id, start, expiry)
             raise RuntimeError(f"delivery failed: {submitted.effects.error}")
+        if self.reclamation is not None:
+            self.reclamation.track(
+                res_id,
+                ingress_if,
+                bandwidth_kbps,
+                start,
+                expiry,
+                [
+                    (interface, is_ingress, decision.commitment.commitment_id)
+                    for interface, is_ingress, decision in admissions
+                ],
+                tag=redeemer,
+            )
         if self._telemetry:
             self._m_deliveries.labels(str(self.isd_as), "delivered").inc()
         trace = current_trace()
@@ -996,6 +1018,149 @@ class AsService:
         """
         when = now if now is not None else self.executor.clock.now()
         return self.admission.expire(when)
+
+    # -- no-show reclamation ---------------------------------------------------------
+
+    def enable_reclamation(
+        self,
+        usage_source,
+        interval: float = 0.25,
+        grace_seconds: float = 0.5,
+        no_show_threshold: float = 0.5,
+        retain_headroom: float = 1.5,
+        min_retained_kbps: int = 1,
+        demote=None,
+        marketplace: str | None = None,
+        relist_base_micromist: int | None = None,
+        relist_granularity: int = DEFAULT_GRANULARITY,
+        relist_min_bandwidth: int = DEFAULT_MIN_BANDWIDTH,
+    ):
+        """Arm the usage-feedback loop for this AS.
+
+        ``usage_source`` is the cumulative policer snapshot callable
+        (``router.policer.usage_snapshot``); ``demote`` the data-plane
+        rate-cap hook (``router.policer.set_limit``).  Once armed, every
+        delivery is tracked and :meth:`reclaim_no_shows` runs the loop.
+        With ``marketplace`` set, reclaimed bandwidth is relisted there
+        with ``Reclaimed`` provenance at the scarcity-adjusted quote over
+        ``relist_base_micromist``.
+
+        Returns the :class:`~repro.reclaim.ReclamationEngine`.
+        """
+        from repro.reclaim import ReclamationEngine, UsageReporter
+
+        self.reclamation = ReclamationEngine(
+            self.admission,
+            UsageReporter(usage_source, interval),
+            grace_seconds=grace_seconds,
+            no_show_threshold=no_show_threshold,
+            retain_headroom=retain_headroom,
+            min_retained_kbps=min_retained_kbps,
+            demote=demote,
+        )
+        self._relist_marketplace = marketplace
+        self._relist_base_micromist = relist_base_micromist
+        self._relist_granularity = relist_granularity
+        self._relist_min_bandwidth = relist_min_bandwidth
+        return self.reclamation
+
+    def reclaim_no_shows(self, now: float | None = None) -> list:
+        """One reclamation pass: scan tracked reservations, relist the spoils.
+
+        Runs :meth:`~repro.reclaim.ReclamationEngine.scan` (no-op without
+        :meth:`enable_reclamation`), then relists each completed
+        reclamation's freed bandwidth on the configured marketplace.  The
+        relist is an ordinary issue+list — it must clear the *issued*
+        calendar like any minting, which is exactly what an overbooking
+        admission policy permits; under a strict policy the relist is
+        refused and recorded, never force-listed.
+
+        Returns the completed :class:`~repro.reclaim.ReclamationEvent`\\ s.
+        """
+        if self.reclamation is None:
+            return []
+        when = now if now is not None else self.executor.clock.now()
+        events = self.reclamation.scan(when)
+        if self._relist_marketplace is not None:
+            for event in events:
+                self._relist_reclaimed(event)
+        return events
+
+    def _relist_reclaimed(self, event) -> None:
+        """Put one reclamation's freed rectangle back on the market."""
+        start = math.ceil(event.at)
+        granule = self._relist_granularity
+        # The asset contract requires the duration to be a whole number of
+        # granules: shrink the tail, never stretch past the reservation.
+        expiry = start + (int(event.end) - start) // granule * granule
+        freed = event.freed_kbps
+        if expiry <= start or freed < 1:
+            self.relisted.append((event, None, "window or bandwidth too small"))
+            return
+        base = (
+            self._relist_base_micromist
+            if self._relist_base_micromist is not None
+            else 1
+        )
+        quoted = self.admission.quote(
+            base, event.ingress_ifid, True, start, expiry
+        )
+        decision = self.admission.admit_issue(
+            event.ingress_ifid,
+            True,
+            freed,
+            start,
+            expiry,
+            tag=f"reclaim:{self.isd_as}",
+        )
+        if not decision.admitted:
+            self.relisted.append((event, None, decision.reason))
+            return
+        submitted = self.executor.submit(
+            Transaction(
+                sender=self.account.address,
+                commands=[
+                    Command(
+                        "asset",
+                        "issue",
+                        {
+                            "token": self.token_id,
+                            "bandwidth_kbps": freed,
+                            "start": start,
+                            "expiry": expiry,
+                            "interface": event.ingress_ifid,
+                            "is_ingress": True,
+                            "granularity": self._relist_granularity,
+                            "min_bandwidth_kbps": min(
+                                self._relist_min_bandwidth, freed
+                            ),
+                        },
+                    ),
+                    Command(
+                        "market",
+                        "create_listing",
+                        {
+                            "marketplace": self._relist_marketplace,
+                            "asset": Result(0, "asset"),
+                            "price_micromist_per_unit": quoted,
+                            "provenance": {
+                                "res_id": event.res_id,
+                                "original_holder": event.tag,
+                                "reclaimed_kbps": freed,
+                                "observed_kbps": event.observed_kbps,
+                            },
+                        },
+                    ),
+                ],
+            )
+        )
+        if not submitted.effects.ok:
+            self.admission.release(event.ingress_ifid, True, decision.commitment)
+            self.relisted.append((event, None, str(submitted.effects.error)))
+            return
+        self.relisted.append(
+            (event, submitted.effects.returns[1]["listing"], "relisted")
+        )
 
     def _allocator(self, ingress_if: int) -> ResIdAllocator:
         allocator = self._allocators.get(ingress_if)

@@ -185,6 +185,7 @@ def deploy_market(
     shard_seconds: float | None = None,
     engine=None,
     auction_interfaces=None,
+    reclamation: dict | None = None,
 ) -> MarketDeployment:
     """Stand up ledger, contracts, marketplace, and one service per AS.
 
@@ -206,6 +207,14 @@ def deploy_market(
     auction mode — the seed listings are still posted, but
     :meth:`~repro.controlplane.asclient.AsService.offer_capacity` on such
     an interface opens an auction instead of a listing.
+
+    ``reclamation`` arms every AS's no-show reclamation loop
+    (:meth:`~repro.controlplane.asclient.AsService.enable_reclamation`):
+    the dict's ``usage_source_factory`` key (``isd_as -> snapshot
+    callable``) binds each service to its data-plane policer — absent, the
+    loop runs on an empty usage feed — and the remaining keys pass through
+    (``grace_seconds``, ``no_show_threshold``, ...).  Relisting defaults
+    to this deployment's marketplace at the seed base price.
     """
     from repro.admission import AdmissionController
     rng = random.Random(seed)
@@ -277,6 +286,19 @@ def deploy_market(
                 )
                 if not listed.effects.ok:
                     raise RuntimeError(f"issue/list failed: {listed.effects.error}")
+        if reclamation is not None:
+            options = dict(reclamation)
+            factory = options.pop("usage_source_factory", None)
+            source = (
+                factory(autonomous_system.isd_as)
+                if factory is not None
+                else (lambda: {})
+            )
+            options.setdefault("marketplace", marketplace)
+            options.setdefault("relist_base_micromist", price_micromist_per_unit)
+            options.setdefault("relist_granularity", granularity)
+            options.setdefault("relist_min_bandwidth", min_bandwidth_kbps)
+            service.enable_reclamation(source, **options)
         services[autonomous_system.isd_as] = service
 
     return MarketDeployment(

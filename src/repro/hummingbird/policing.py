@@ -42,7 +42,7 @@ class TokenBucketArray:
     <PolicingVerdict.FWD_FLYOVER: 'fwd_flyover'>
     """
 
-    __slots__ = ("burst_time_ns", "_timestamps", "_usage_bytes")
+    __slots__ = ("burst_time_ns", "_timestamps", "_usage_bytes", "_limits")
 
     def __init__(self, capacity: int, burst_time: float = DEFAULT_BURST_TIME) -> None:
         if capacity <= 0:
@@ -52,10 +52,15 @@ class TokenBucketArray:
         self.burst_time_ns = int(burst_time * NS)
         self._timestamps = np.zeros(capacity, dtype=np.int64)
         # Per-ResID bytes forwarded with priority: the usage feed the
-        # future reclamation loop (and telemetry exports) consume.  One
-        # extra store per in-profile packet; out-of-profile traffic is
+        # reclamation loop (and telemetry exports) consume.  One extra
+        # store per in-profile packet; out-of-profile traffic is
         # best-effort and not attributed to the reservation.
         self._usage_bytes = np.zeros(capacity, dtype=np.int64)
+        # Per-ResID rate overrides installed by the control plane when a
+        # no-show's bandwidth is reclaimed: the header still advertises
+        # the original class, but the bucket drains at the reclaimed
+        # rate.  Sparse — only reclaimed reservations pay the lookup.
+        self._limits: dict[int, int] = {}
 
     @property
     def capacity(self) -> int:
@@ -70,6 +75,8 @@ class TokenBucketArray:
         """BandwidthMonitoring(ResID, BW, PktLen) — Algorithm 1 verbatim."""
         if not 0 <= res_id < len(self._timestamps):
             return PolicingVerdict.FWD_BEST_EFFORT
+        if self._limits:
+            bw_kbps = min(bw_kbps, self._limits.get(res_id, bw_kbps))
         if bw_kbps <= 0:
             return PolicingVerdict.FWD_BEST_EFFORT
         now_ns = int(now * NS)
@@ -93,10 +100,27 @@ class TokenBucketArray:
         active = np.flatnonzero(self._usage_bytes)
         return {int(res_id): int(self._usage_bytes[res_id]) for res_id in active}
 
+    def set_limit(self, res_id: int, bw_kbps: int) -> None:
+        """Cap one reservation's policed rate below its header class.
+
+        The reclamation loop's demotion hook: after a no-show's calendar
+        bandwidth is reclaimed, the bucket drains at the reclaimed rate —
+        a sender waking up late is forwarded best-effort beyond it.  A
+        limit of 0 demotes every packet on the ResID.
+        """
+        if bw_kbps < 0:
+            raise ValueError("limit must be >= 0")
+        self._limits[int(res_id)] = int(bw_kbps)
+
+    def clear_limit(self, res_id: int) -> None:
+        """Drop a reclamation rate cap (e.g. a false reclaim reversed)."""
+        self._limits.pop(int(res_id), None)
+
     def reset(self, res_id: int) -> None:
         """Clear one bucket (ResID reuse after a reservation expires)."""
         self._timestamps[res_id] = 0
         self._usage_bytes[res_id] = 0
+        self._limits.pop(int(res_id), None)
 
 
 class PerInterfacePolicer:
@@ -137,6 +161,15 @@ class PerInterfacePolicer:
         """Priority bytes one reservation moved through one ingress."""
         array = self._arrays.get(ingress_ifid)
         return 0 if array is None else array.usage_bytes(res_id)
+
+    def set_limit(self, ingress_ifid: int, res_id: int, bw_kbps: int) -> None:
+        """Cap one reservation's policed rate (reclamation demotion)."""
+        self.array_for(ingress_ifid).set_limit(res_id, bw_kbps)
+
+    def clear_limit(self, ingress_ifid: int, res_id: int) -> None:
+        array = self._arrays.get(ingress_ifid)
+        if array is not None:
+            array.clear_limit(res_id)
 
     def usage_snapshot(self) -> dict[int, dict[int, int]]:
         """Per-ingress ``{res_id: priority bytes}`` for active ResIDs."""

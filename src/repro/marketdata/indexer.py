@@ -5,7 +5,8 @@ ledger and the buyers: hosts should never scan the whole object store to
 find a listing.  :class:`MarketIndexer` consumes the marketplace's event
 stream *incrementally* — ``Listed``/``Relisted`` add listings,
 ``Delisted`` removes them, ``Sold`` shrinks or removes the listing the
-purchase carved from — so the index is always a pure function of the
+purchase carved from, ``Reclaimed`` annotates the following listing with
+its no-show provenance — so the index is always a pure function of the
 events applied so far and never needs a rescan.
 
 Listings are bucketed per ``(isd, asn, interface, direction)`` key; each
@@ -238,6 +239,12 @@ class MarketIndexer:
         self._position = 0
         self._keys: dict[tuple[int, int, int, bool], _KeyIndex] = {}
         self._by_listing: dict[str, IndexedListing] = {}
+        # Reclamation provenance per live listing: the ``Reclaimed`` event
+        # precedes its listing's ``Listed``/``Relisted`` in the same
+        # transaction, so the annotation is stashed by listing id and
+        # pruned when the listing leaves the index.
+        self._provenance: dict[str, dict] = {}
+        self.reclaimed_seen = 0
         self.events_applied = 0
         registry = get_registry()
         self._telemetry = registry.enabled
@@ -260,6 +267,11 @@ class MarketIndexer:
             "Live listings per (isd, asn, interface, direction) bucket.",
             ("isd", "asn", "interface", "direction"),
         )
+        self._m_reclaimed = registry.counter(
+            "indexer_reclaimed_listings_total",
+            "Reclaimed provenance events applied (listings whose supply "
+            "came back from a no-show reservation).",
+        ).labels()
 
     # -- event consumption -------------------------------------------------------
 
@@ -329,6 +341,17 @@ class MarketIndexer:
                 ).set(len(bucket.records))
 
     def _apply(self, event) -> bool:
+        if event.event_type == "Reclaimed":
+            payload = event.payload
+            if payload.get("marketplace") != self.marketplace:
+                return False
+            self._provenance[payload["listing"]] = dict(
+                payload.get("provenance") or {}
+            )
+            self.reclaimed_seen += 1
+            if self._telemetry:
+                self._m_reclaimed.inc()
+            return True
         if event.event_type in _ADD_EVENTS:
             payload = event.payload
             if payload.get("marketplace") != self.marketplace:
@@ -372,6 +395,7 @@ class MarketIndexer:
         record = self._by_listing.pop(listing_id, None)
         if record is None:
             return False
+        self._provenance.pop(listing_id, None)
         self._key_index(record.key).remove(listing_id)
         return True
 
@@ -397,10 +421,15 @@ class MarketIndexer:
             "marketplace": self.marketplace,
             "position": self._position,
             "events_applied": self.events_applied,
+            "reclaimed_seen": self.reclaimed_seen,
             "listings": [
                 dataclasses.asdict(self._by_listing[listing_id])
                 for listing_id in sorted(self._by_listing)
             ],
+            "provenance": {
+                listing_id: self._provenance[listing_id]
+                for listing_id in sorted(self._provenance)
+            },
         }
 
     def restore(self, snapshot: dict) -> None:
@@ -420,8 +449,13 @@ class MarketIndexer:
             )
         self._position = int(snapshot["position"])
         self.events_applied = int(snapshot["events_applied"])
+        self.reclaimed_seen = int(snapshot.get("reclaimed_seen", 0))
         self._keys = {}
         self._by_listing = {}
+        self._provenance = {
+            listing_id: dict(fields)
+            for listing_id, fields in snapshot.get("provenance", {}).items()
+        }
         for fields in snapshot["listings"]:
             record = IndexedListing(**fields)
             self._by_listing[record.listing_id] = record
@@ -444,6 +478,12 @@ class MarketIndexer:
     def listing(self, listing_id: str) -> IndexedListing | None:
         """One live listing by id (``None`` once sold out or delisted)."""
         return self._by_listing.get(listing_id)
+
+    def provenance(self, listing_id: str) -> dict | None:
+        """Reclamation provenance of one live listing (``None`` = minted
+        fresh, not reclaimed from a no-show reservation)."""
+        found = self._provenance.get(listing_id)
+        return dict(found) if found is not None else None
 
     def listings(self) -> list[IndexedListing]:
         """Every live listing across all keys (unspecified order)."""

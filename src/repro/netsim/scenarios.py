@@ -1622,3 +1622,374 @@ def _contention_experiment_impl(
         )
     controller.close()
     return result
+
+
+@dataclass
+class ReclaimBuyerOutcome:
+    """One buyer of :func:`reclamation_experiment`."""
+
+    buyer: str
+    kind: str  # "honest" | "no-show" | "late"
+    reserved: bool
+    admitted_at: float | None
+    quoted_price_micromist: int
+    reason: str
+    metrics: dict
+
+
+@dataclass
+class ReclamationArmResult:
+    """One policy arm of :func:`reclamation_experiment`."""
+
+    arm: str
+    capacity_kbps: int
+    buyers: list[ReclaimBuyerOutcome]
+    revenue_mist: int
+    reserved_goodput_bps: float
+    honest_demotions: int
+    reclaim_events: int
+    reclaimed_kbps: int
+    false_reclaims: int
+    live_factor: float
+    bottleneck_utilization: float
+
+    # revenue_mist sums ceil(units * quote / 1e6) over every admission —
+    # the exact MIST a posted-price sale of each admitted rectangle earns.
+
+    @property
+    def reserved_buyers(self) -> list[ReclaimBuyerOutcome]:
+        return [buyer for buyer in self.buyers if buyer.reserved]
+
+
+@dataclass
+class ReclamationResult:
+    """All arms of :func:`reclamation_experiment`, keyed by arm name."""
+
+    arms: dict
+
+    def arm(self, name: str) -> ReclamationArmResult:
+        return self.arms[name]
+
+
+def reclamation_experiment(
+    topology: Topology,
+    path: ForwardingPath,
+    num_buyers: int = 8,
+    num_no_shows: int = 4,
+    num_late: int = 4,
+    per_buyer_kbps: int = 1000,
+    link_rate_bps: float = 10_000_000.0,
+    reservable_fraction: float = 1.0,
+    duration: float = 3.0,
+    payload_bytes: int = 1000,
+    base_price_micromist: int = 50,
+    static_factor: float = 1.25,
+    max_factor: float = 3.0,
+    grace_seconds: float = 0.4,
+    scan_interval: float = 0.25,
+    no_show_threshold: float = 0.5,
+    seed: int = 1,
+    prf_factory: PrfFactory = SIM_PRF,
+    pricer=None,
+    telemetry: ExperimentTelemetry | None = None,
+) -> ReclamationResult:
+    """The closed control loop vs an open one, on an overbooked bottleneck.
+
+    Three arms share one scenario: ``num_buyers`` early buyers reserve the
+    whole bottleneck, but ``num_no_shows`` of them never send a packet;
+    ``num_late`` more buyers arrive wanting the same window.
+
+    * ``"none"`` — no overbooking: the no-shows' bandwidth stays parked,
+      late buyers are rejected to best effort.
+    * ``"static"`` — a fixed overbooking factor admits some late buyers up
+      front, but nothing ever reclaims the no-shows.
+    * ``"adaptive"`` — :class:`~repro.reclaim.AdaptiveOverbooking` plus a
+      policer-fed :class:`~repro.reclaim.ReclamationEngine`: no-shows are
+      detected from observed usage, their calendar bandwidth is reclaimed
+      and demoted at the policer, the freed capacity admits the waiting
+      buyers mid-run, and the overbooking factor converges on the
+      observed show-up rate.
+
+    The closed loop must dominate: at least the revenue and at least the
+    reserved-traffic goodput of both open arms, with zero policer
+    demotions of honest traffic (``tests/netsim/test_reclamation.py``
+    asserts all three).
+    """
+    if telemetry is not None:
+        with telemetry.activate():
+            return _reclamation_experiment_impl(
+                topology, path, num_buyers, num_no_shows, num_late,
+                per_buyer_kbps, link_rate_bps, reservable_fraction, duration,
+                payload_bytes, base_price_micromist, static_factor,
+                max_factor, grace_seconds, scan_interval, no_show_threshold,
+                seed, prf_factory, pricer, telemetry,
+            )
+    return _reclamation_experiment_impl(
+        topology, path, num_buyers, num_no_shows, num_late, per_buyer_kbps,
+        link_rate_bps, reservable_fraction, duration, payload_bytes,
+        base_price_micromist, static_factor, max_factor, grace_seconds,
+        scan_interval, no_show_threshold, seed, prf_factory, pricer, None,
+    )
+
+
+def _reclamation_experiment_impl(
+    topology: Topology,
+    path: ForwardingPath,
+    num_buyers: int,
+    num_no_shows: int,
+    num_late: int,
+    per_buyer_kbps: int,
+    link_rate_bps: float,
+    reservable_fraction: float,
+    duration: float,
+    payload_bytes: int,
+    base_price_micromist: int,
+    static_factor: float,
+    max_factor: float,
+    grace_seconds: float,
+    scan_interval: float,
+    no_show_threshold: float,
+    seed: int,
+    prf_factory: PrfFactory,
+    pricer,
+    telemetry: ExperimentTelemetry | None,
+) -> ReclamationResult:
+    from repro.admission.policy import FirstComeFirstServed, OverbookingPolicy
+    from repro.reclaim import AdaptiveOverbooking
+
+    if num_no_shows > num_buyers:
+        raise ValueError("cannot have more no-shows than buyers")
+    arms = {}
+    for arm, policy, reclaim in (
+        ("none", FirstComeFirstServed(), False),
+        ("static", OverbookingPolicy(static_factor), False),
+        (
+            "adaptive",
+            AdaptiveOverbooking(initial_factor=1.0, max_factor=max_factor),
+            True,
+        ),
+    ):
+        arms[arm] = _reclamation_arm(
+            arm, policy, reclaim, topology, path, num_buyers, num_no_shows,
+            num_late, per_buyer_kbps, link_rate_bps, reservable_fraction,
+            duration, payload_bytes, base_price_micromist, grace_seconds,
+            scan_interval, no_show_threshold, seed, prf_factory, pricer,
+        )
+    result = ReclamationResult(arms=arms)
+    if telemetry is not None:
+        telemetry.annotate(
+            reclamation={
+                arm: {
+                    "revenue_mist": outcome.revenue_mist,
+                    "reserved_goodput_mbps": round(
+                        outcome.reserved_goodput_bps / 1e6, 3
+                    ),
+                    "reserved_buyers": len(outcome.reserved_buyers),
+                    "honest_demotions": outcome.honest_demotions,
+                    "reclaim_events": outcome.reclaim_events,
+                    "reclaimed_kbps": outcome.reclaimed_kbps,
+                    "false_reclaims": outcome.false_reclaims,
+                    "live_factor": round(outcome.live_factor, 3),
+                    "bottleneck_utilization": outcome.bottleneck_utilization,
+                }
+                for arm, outcome in arms.items()
+            }
+        )
+    return result
+
+
+def _reclamation_arm(
+    arm: str,
+    policy,
+    reclaim: bool,
+    topology: Topology,
+    path: ForwardingPath,
+    num_buyers: int,
+    num_no_shows: int,
+    num_late: int,
+    per_buyer_kbps: int,
+    link_rate_bps: float,
+    reservable_fraction: float,
+    duration: float,
+    payload_bytes: int,
+    base_price_micromist: int,
+    grace_seconds: float,
+    scan_interval: float,
+    no_show_threshold: float,
+    seed: int,
+    prf_factory: PrfFactory,
+    pricer,
+) -> ReclamationArmResult:
+    from repro.admission import ACTIVE, AdmissionController
+    from repro.reclaim import ReclamationEngine, UsageReporter
+
+    simulation = build_path_simulation(
+        topology, path, link_rate_bps=link_rate_bps, prf_factory=prf_factory
+    )
+    crossings = as_crossings(path)
+    if len(crossings) < 2:
+        raise ValueError("need at least one inter-AS link for a bottleneck")
+    bottleneck = crossings[1]
+    router = simulation.nodes[bottleneck.isd_as].router
+    capacity_kbps = int(link_rate_bps / 1000 * reservable_fraction)
+    # The default flat pricer keeps revenue proportional to volume sold,
+    # so the arm comparison measures reclamation, not price spikes.
+    controller = AdmissionController(capacity_kbps, policy=policy, pricer=pricer)
+    engine = None
+    if reclaim:
+        engine = ReclamationEngine(
+            controller,
+            UsageReporter(router.policer.usage_snapshot, interval=scan_interval / 2),
+            grace_seconds=grace_seconds,
+            no_show_threshold=no_show_threshold,
+            demote=router.policer.set_limit,
+        )
+
+    start = int(simulation.clock.now())
+    reserve_kbps = int(per_buyer_kbps * 1.25)  # cover wire overhead
+    window_end = start + int(duration) + 60
+    rng = random.Random(seed)
+    sources = []
+    outcomes: list[ReclaimBuyerOutcome] = []
+    flow_metrics: dict[str, FlowMetrics] = {}
+    revenue = 0
+
+    def admit(index: int, buyer: str, kind: str, now: float):
+        """One admission attempt; on success the buyer sends with priority."""
+        nonlocal revenue
+        quote = controller.quote(
+            base_price_micromist, bottleneck.ingress, True, int(now), window_end
+        )
+        decision = controller.admit_reservation(
+            bottleneck.ingress, True, reserve_kbps, int(now), window_end, tag=buyer
+        )
+        if not decision.admitted:
+            return None, quote, decision.reason
+        units = reserve_kbps * (window_end - int(now))
+        revenue += -(-units * quote // 1_000_000)  # ceil, as the contract prices
+        if engine is not None:
+            engine.track(
+                index,
+                bottleneck.ingress,
+                reserve_kbps,
+                now,
+                start + duration,
+                [(bottleneck.ingress, True, decision.commitment.commitment_id)],
+                tag=buyer,
+            )
+        if kind != "no-show":
+            reservations = simulation.grant_full_path(
+                reserve_kbps, int(now), window_end - int(now), res_id=index
+            )
+            metrics = simulation.sink.flow(index + 1)
+            flow_metrics[buyer] = metrics
+            source = CbrSource(
+                simulation.loop,
+                builder := simulation.hummingbird_source(reservations),
+                simulation.entry,
+                metrics,
+                rate_bps=per_buyer_kbps * 1000.0,
+                payload_bytes=payload_bytes,
+                flow_id=index + 1,
+                jitter=0.05,
+                rng=rng,
+            )
+            sources.append(source)
+            source.start(0.005 * index)
+        return decision, quote, decision.reason
+
+    # Early buyers: the first num_no_shows never send a packet.
+    for index in range(num_buyers):
+        kind = "no-show" if index < num_no_shows else "honest"
+        buyer = f"{kind}-{index}"
+        decision, quote, reason = admit(index, buyer, kind, simulation.clock.now())
+        outcomes.append(
+            ReclaimBuyerOutcome(
+                buyer=buyer,
+                kind=kind,
+                reserved=decision is not None,
+                admitted_at=simulation.clock.now() if decision else None,
+                quoted_price_micromist=quote,
+                reason=reason,
+                metrics={},
+            )
+        )
+
+    # Late buyers: admitted now if the policy has room, retried at every
+    # scan otherwise; a buyer still waiting at the end falls back to best
+    # effort for the whole run (accounted as unreserved).
+    waiting: list[tuple[int, ReclaimBuyerOutcome]] = []
+    for offset in range(num_late):
+        index = num_buyers + offset
+        buyer = f"late-{index}"
+        decision, quote, reason = admit(index, buyer, "late", simulation.clock.now())
+        outcome = ReclaimBuyerOutcome(
+            buyer=buyer,
+            kind="late",
+            reserved=decision is not None,
+            admitted_at=simulation.clock.now() if decision else None,
+            quoted_price_micromist=quote,
+            reason=reason,
+            metrics={},
+        )
+        outcomes.append(outcome)
+        if decision is None:
+            waiting.append((index, outcome))
+
+    end_time = simulation.clock.now() + duration
+    next_scan = simulation.clock.now() + scan_interval
+    while simulation.clock.now() < end_time:
+        simulation.loop.run_until(min(next_scan, end_time))
+        next_scan += scan_interval
+        now = simulation.clock.now()
+        if engine is not None:
+            engine.scan(now)
+        if now >= end_time:
+            break
+        still_waiting = []
+        for index, outcome in waiting:
+            decision, quote, reason = admit(index, outcome.buyer, "late", now)
+            if decision is not None:
+                outcome.reserved = True
+                outcome.admitted_at = now
+                outcome.quoted_price_micromist = quote
+                outcome.reason = reason
+            else:
+                still_waiting.append((index, outcome))
+        waiting = still_waiting
+    for source in sources:
+        source.stop()
+
+    for outcome in outcomes:
+        metrics = flow_metrics.get(outcome.buyer)
+        outcome.metrics = metrics.summary() if metrics is not None else {}
+    reserved_goodput = sum(
+        flow_metrics[outcome.buyer].goodput_bps(duration)
+        for outcome in outcomes
+        if outcome.reserved and outcome.buyer in flow_metrics
+    )
+    honest_demotions = (
+        router.stats.demoted_overuse
+        + router.stats.demoted_inactive
+        + router.stats.demoted_stale
+    )
+    link = simulation.links[0]
+    result = ReclamationArmResult(
+        arm=arm,
+        capacity_kbps=capacity_kbps,
+        buyers=outcomes,
+        revenue_mist=revenue,
+        reserved_goodput_bps=reserved_goodput,
+        honest_demotions=honest_demotions,
+        reclaim_events=len(engine.events) if engine is not None else 0,
+        reclaimed_kbps=sum(e.freed_kbps for e in engine.events) if engine else 0,
+        false_reclaims=engine.false_reclaims if engine is not None else 0,
+        live_factor=policy.limit_factor(
+            controller.calendar(bottleneck.ingress, True, ACTIVE)
+        )
+        if hasattr(policy, "limit_factor")
+        else 1.0,
+        bottleneck_utilization=link.utilization(duration),
+    )
+    controller.close()
+    return result

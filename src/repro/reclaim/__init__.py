@@ -1,0 +1,28 @@
+"""Usage feedback and no-show reclamation: closing the admission loop.
+
+The data plane's policer counts what each reservation actually moves
+(:mod:`repro.hummingbird.policing`); this package feeds those counts
+back into the control plane.  :class:`UsageReporter` samples cumulative
+per-(interface, ResID) byte counters, :class:`ReclamationEngine` shrinks
+no-show commitments on the active calendars and demotes their data-plane
+rate, and :class:`AdaptiveOverbooking` steers each interface's
+overbooking factor from the observed show-up rates.  See
+``docs/reclamation.md`` for the full loop.
+"""
+
+from repro.reclaim.adaptive import AdaptiveOverbooking
+from repro.reclaim.engine import (
+    ReclamationEngine,
+    ReclamationEvent,
+    TrackedReservation,
+)
+from repro.reclaim.usage import UsageReporter, UsageSnapshot
+
+__all__ = [
+    "AdaptiveOverbooking",
+    "ReclamationEngine",
+    "ReclamationEvent",
+    "TrackedReservation",
+    "UsageReporter",
+    "UsageSnapshot",
+]

@@ -35,6 +35,7 @@ and roll back atomically.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import multiprocessing
 import os
@@ -783,6 +784,40 @@ class EngineCalendar(ShardedCalendar):
             "release_pieces", by_worker, mutating=True, rows=len(entries)
         )
         self._prune_dropped(results)
+
+    def reclaim(self, commitment_id: int, new_bandwidth_kbps: int) -> Commitment:
+        """Shrink a live commitment: one ``reclaim_pieces`` round per worker.
+
+        A single-round mutating scatter, so it inherits the engine's
+        crash-atomicity: a worker dying (or erroring) mid-batch rolls the
+        whole pool back to the journaled pre-reclaim state and raises
+        :class:`~repro.shardengine.api.WorkerCrashed`; the parent record
+        mutates only after a successful gather.
+        """
+        new_bandwidth_kbps = int(new_bandwidth_kbps)
+        commitment = self._commitments.get(commitment_id)
+        if commitment is None:
+            raise KeyError(f"unknown commitment {commitment_id}")
+        if not 0 < new_bandwidth_kbps < commitment.bandwidth_kbps:
+            raise ValueError(
+                f"reclaim target {new_bandwidth_kbps} kbps outside "
+                f"(0, {commitment.bandwidth_kbps})"
+            )
+        entries = []
+        for calendar, key, piece_id in self._projections[commitment_id]:
+            if self._shards.get(key) is not calendar:
+                continue  # shard already dropped by expire
+            entries.append((key, (self._key, key, piece_id, new_bandwidth_kbps)))
+        if entries:
+            self._scatter_items(
+                "reclaim_pieces",
+                self._group_items(entries),
+                mutating=True,
+                rows=len(entries),
+            )
+        shrunk = dataclasses.replace(commitment, bandwidth_kbps=new_bandwidth_kbps)
+        self._commitments[commitment_id] = shrunk
+        return shrunk
 
     def expire(self, now: float) -> int:
         now = float(now)

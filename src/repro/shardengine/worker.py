@@ -116,6 +116,30 @@ class _WorkerState:
                 out.append(None)
         return out
 
+    def reclaim_pieces(self, payload):
+        """Shrink one piece per shard in place; atomic within this worker.
+
+        A failure mid-batch restores the already-shrunk pieces to their
+        old bandwidths in reverse order (piece ids never change), so a
+        worker either applies its whole stripe of a reclaim or none of it.
+        """
+        applied: list[tuple] = []
+        reclaimed = 0
+        try:
+            for key, shard_key, piece_id, new_bw in payload["items"]:
+                calendar = self._existing(key, shard_key)
+                if calendar is None:
+                    continue  # shard already dropped (stale piece)
+                old_bw = calendar.get(piece_id).bandwidth_kbps
+                calendar.reclaim(piece_id, new_bw)
+                applied.append((calendar, piece_id, old_bw))
+                reclaimed += 1
+        except Exception:
+            for calendar, piece_id, old_bw in reversed(applied):
+                calendar._resize(calendar.get(piece_id), old_bw)
+            raise
+        return {"reclaimed": reclaimed}
+
     def release_pieces(self, payload):
         released = 0
         dropped: list = []

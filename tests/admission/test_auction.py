@@ -8,6 +8,7 @@ from repro.admission import (
     POSTED,
     AdmissionController,
     Bid,
+    OverbookingPolicy,
     ProportionalShare,
     ScarcityPricer,
     WindowAuction,
@@ -200,6 +201,17 @@ class TestControllerAuctionMode:
         assert auction.share_cap_kbps == 250
         no_cap = AdmissionController(1000, auction_interfaces=True)
         assert no_cap.open_auction(1, True, 1000, 0, 600, 50).share_cap_kbps is None
+
+    def test_share_cap_seeded_by_capped_overbooking(self):
+        # Regression: switching the AS to overbooking used to drop the
+        # share cap from its auctions (isinstance check on the policy).
+        controller = AdmissionController(
+            1000,
+            policy=OverbookingPolicy(2.0, max_fraction=0.25),
+            auction_interfaces=True,
+        )
+        auction = controller.open_auction(1, True, 1000, 0, 600, 50)
+        assert auction.share_cap_kbps == 250  # of physical, not overbooked
 
     def test_duplicate_window_rejected_and_close_reopens(self):
         controller = AdmissionController(1000, auction_interfaces=True)

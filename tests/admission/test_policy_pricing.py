@@ -177,3 +177,51 @@ class TestController:
         controller = AdmissionController(1000)
         with pytest.raises(ValueError):
             controller.calendar(1, True, layer="imaginary")
+
+
+class TestOverbookingShareCap:
+    """Regression sweep: share caps must survive the switch to overbooking."""
+
+    def test_share_cap_is_against_physical_capacity(self):
+        # The overbooked limit is 2000 kbps, but the link is still 1000:
+        # a 50% share cap means 500, not 1000.
+        policy = OverbookingPolicy(factor=2.0, max_fraction=0.5)
+        calendar = CapacityCalendar(1000)
+        assert policy.admit(calendar, AdmissionRequest(500, 0, 100, "whale")).admitted
+        denied = policy.admit(calendar, AdmissionRequest(1, 0, 100, "whale"))
+        assert not denied.admitted
+        assert "physical" in denied.reason
+        # Other buyers still enjoy the overbooked limit.
+        assert policy.admit(calendar, AdmissionRequest(500, 0, 100, "b")).admitted
+        assert policy.admit(calendar, AdmissionRequest(500, 0, 100, "c")).admitted
+        assert policy.admit(calendar, AdmissionRequest(500, 0, 100, "d")).admitted
+        assert not policy.admit(calendar, AdmissionRequest(1, 0, 100, "e")).admitted
+
+    def test_cap_is_per_window_under_overbooking(self):
+        policy = OverbookingPolicy(factor=1.5, max_fraction=0.5)
+        calendar = CapacityCalendar(1000)
+        assert policy.admit(calendar, AdmissionRequest(500, 0, 100, "whale")).admitted
+        assert policy.admit(calendar, AdmissionRequest(500, 100, 200, "whale")).admitted
+
+    def test_no_cap_by_default(self):
+        policy = OverbookingPolicy(factor=1.5)
+        calendar = CapacityCalendar(1000)
+        assert policy.admit(calendar, AdmissionRequest(1400, 0, 100, "whale")).admitted
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            OverbookingPolicy(1.5, max_fraction=0)
+        with pytest.raises(ValueError):
+            OverbookingPolicy(1.5, max_fraction=1.1)
+
+    def test_controller_share_cap_survives_overbooking_policies(self):
+        # isinstance(ProportionalShare) used to drop the cap silently the
+        # moment an AS overbooked; duck-typing on max_fraction keeps it.
+        capped = AdmissionController(
+            1000, policy=OverbookingPolicy(1.5, max_fraction=0.25)
+        )
+        assert capped.share_cap_kbps(1, True) == 250
+        uncapped = AdmissionController(1000, policy=OverbookingPolicy(1.5))
+        assert uncapped.share_cap_kbps(1, True) is None
+        proportional = AdmissionController(1000, policy=ProportionalShare(0.25))
+        assert proportional.share_cap_kbps(1, True) == 250

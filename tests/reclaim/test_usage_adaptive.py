@@ -1,0 +1,85 @@
+"""Unit coverage for the loop's two small parts: sampler and adaptive policy."""
+
+import pytest
+
+from repro.admission import AdmissionRequest, CapacityCalendar
+from repro.reclaim import AdaptiveOverbooking, UsageReporter
+
+
+class TestUsageReporter:
+    def test_cadence_gates_sampling(self):
+        calls = []
+
+        def source():
+            calls.append(1)
+            return {1: {7: 100 * len(calls)}}
+
+        reporter = UsageReporter(source, interval=1.0)
+        assert reporter.sample(0.0)
+        assert not reporter.sample(0.5)  # too early: no source call
+        assert reporter.sample(1.0)
+        assert len(calls) == 2
+        assert reporter.samples_taken == 2
+        assert reporter.usage_bytes(1, 7) == 200
+
+    def test_observed_rate_is_cumulative_average(self):
+        reporter = UsageReporter(lambda: {1: {7: 25_000}}, interval=0.1)
+        reporter.sample(2.0)
+        # 25,000 B over 2 s = 100,000 bits/s = 100 kbps.
+        assert reporter.observed_kbps(1, 7, 2.0) == pytest.approx(100.0)
+        assert reporter.observed_kbps(1, 7, 0.0) == 0.0
+        assert reporter.observed_kbps(9, 9, 2.0) == 0.0  # never seen
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            UsageReporter(lambda: {}, interval=0)
+
+
+class TestAdaptiveOverbooking:
+    def test_factor_is_inverse_show_up_rate(self):
+        policy = AdaptiveOverbooking(alpha=1.0, max_factor=3.0)
+        calendar = CapacityCalendar(1000)
+        assert policy.limit_factor(calendar) == 1.0  # no evidence yet
+        assert policy.observe(calendar, 0.5) == pytest.approx(2.0)
+        assert policy.observe(calendar, 1.0) == 1.0  # honest demand: back off
+        # Chronic no-shows push the factor to the ceiling, never past it.
+        assert policy.observe(calendar, 0.0) == 3.0
+        assert policy.observe(calendar, -5.0) == 3.0  # clamped input
+
+    def test_ewma_smooths_observations(self):
+        policy = AdaptiveOverbooking(alpha=0.5)
+        calendar = CapacityCalendar(1000)
+        policy.observe(calendar, 1.0)
+        policy.observe(calendar, 0.0)
+        assert policy.show_up_ewma(calendar) == pytest.approx(0.5)
+        assert policy.limit_factor(calendar) == pytest.approx(2.0)
+
+    def test_state_is_per_calendar(self):
+        policy = AdaptiveOverbooking()
+        busy, idle = CapacityCalendar(1000), CapacityCalendar(1000)
+        policy.observe(busy, 1.0)
+        policy.observe(idle, 0.25)
+        assert policy.limit_factor(busy) == 1.0
+        assert policy.limit_factor(idle) > 1.0
+        assert policy.show_up_ewma(CapacityCalendar(1000)) is None
+
+    def test_admission_uses_the_learned_factor(self):
+        policy = AdaptiveOverbooking(initial_factor=1.0, max_factor=2.0)
+        calendar = CapacityCalendar(1000)
+        assert not policy.admit(calendar, AdmissionRequest(1500, 0, 100)).admitted
+        policy.observe(calendar, 0.5)  # half the demand is phantom
+        assert policy.admit(calendar, AdmissionRequest(1500, 0, 100)).admitted
+        assert not policy.admit(calendar, AdmissionRequest(600, 0, 100)).admitted
+
+    def test_initial_factor_applies_before_evidence(self):
+        policy = AdaptiveOverbooking(initial_factor=1.5)
+        calendar = CapacityCalendar(1000)
+        assert policy.admit(calendar, AdmissionRequest(1400, 0, 100)).admitted
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AdaptiveOverbooking(max_factor=0.5)
+        with pytest.raises(ValueError):
+            AdaptiveOverbooking(alpha=0)
+        with pytest.raises(ValueError):
+            AdaptiveOverbooking(alpha=1.5)

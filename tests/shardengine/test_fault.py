@@ -153,6 +153,37 @@ def test_repeated_crashes_keep_recovering(pair):
     assert calendar_fingerprint(calendar) == calendar_fingerprint(reference)
 
 
+def test_sigkill_mid_reclaim_rolls_back_byte_identically(pair):
+    """A worker dying inside a reclaim batch leaves no half-shrunk shards."""
+    reference, calendar, engine = pair
+    _seed(reference)
+    _seed(calendar)
+    # Spans every shard, so the reclaim scatter reaches both workers.
+    victim_ref = reference.commit(800, 0.0, 950.0, "victim")
+    victim = calendar.commit(800, 0.0, 950.0, "victim")
+    assert victim.commitment_id == victim_ref.commitment_id
+    before = calendar_fingerprint(reference)
+    assert calendar_fingerprint(calendar) == before
+
+    engine.inject_delay(0, 2.0)
+    os.kill(engine.worker_pid(0), signal.SIGKILL)
+    with pytest.raises(WorkerCrashed):
+        calendar.reclaim(victim.commitment_id, 25)
+
+    assert engine.restarts == 1
+    # The failed reclaim is invisible: every shard carries the old 800.
+    assert calendar_fingerprint(calendar) == before
+    assert calendar.get(victim.commitment_id).bandwidth_kbps == 800
+
+    # The retry lands the same target everywhere and matches the reference.
+    reference.reclaim(victim_ref.commitment_id, 25)
+    shrunk = calendar.reclaim(victim.commitment_id, 25)
+    assert shrunk.bandwidth_kbps == 25
+    assert calendar_fingerprint(calendar) == calendar_fingerprint(reference)
+    # The freed bandwidth is actually available again.
+    assert calendar.headroom(0.0, 950.0) == reference.headroom(0.0, 950.0)
+
+
 def test_recovery_waits_out_slow_checkpointed_state(pair):
     """Snapshot/journal state survives when the *other* worker dies."""
     reference, calendar, engine = pair
