@@ -29,6 +29,7 @@ from repro.controlplane.workflow import (
     PathAuctionHandle,
     PurchaseOutcome,
     deploy_market,
+    execute_transfer,
     open_path_auction,
     purchase_path,
     settle_path_auction,
@@ -59,6 +60,7 @@ __all__ = [
     "MarketDeployment",
     "PurchaseOutcome",
     "deploy_market",
+    "execute_transfer",
     "open_path_auction",
     "plan_from_quote",
     "purchase_path",

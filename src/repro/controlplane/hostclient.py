@@ -1301,6 +1301,194 @@ class HostClient:
         fresh = PurchasePlan(requirements=plan.requirements, hops=hops, quote=plan.quote)
         return fresh.estimated_price_mist, fresh
 
+    # -- deadline transfers ---------------------------------------------------------
+
+    def transfer(
+        self,
+        marketplace: str,
+        crossings,
+        bytes_total: int,
+        deadline: int,
+        *,
+        release: int | None = None,
+        budget_mist: int | None = None,
+        max_rate_kbps: int | None = None,
+        best_effort: bool = False,
+        preflight: bool = True,
+    ):
+        """Move ``bytes_total`` across ``crossings`` before ``deadline``.
+
+        The deadline-transfer entry point: plans a malleable schedule
+        (variable rate over time, stitched across listings — see
+        :mod:`repro.transfers`) against this host's market index and
+        executes it as **one atomic transaction**: every piece bought,
+        adjacent pieces fused per direction, one redeem per hop per leg.
+
+        Failure matrix:
+
+        * Planning finds no schedule meeting bytes/deadline/budget →
+          :class:`~repro.transfers.InfeasibleTransfer` (carries the
+          achievable bytes/spend); nothing is submitted.  With
+          ``best_effort=True`` the max-achievable plan executes instead.
+        * A planned listing vanished or shrank before submission →
+          :class:`~repro.transfers.TransferAborted` with
+          ``submitted is None`` (client-side preflight; no transaction,
+          no gas).  ``preflight=False`` skips the check and lets the
+          ledger arbitrate.
+        * The transaction itself aborts (sold out mid-race, insufficient
+          funds) → :class:`~repro.transfers.TransferAborted` carrying the
+          failed transaction; ledger atomicity already rolled back every
+          buy, fuse, and redeem — no money moved, no assets changed
+          hands.
+
+        Args:
+            release: earliest instant data can flow (defaults to the
+                executor clock's now).
+        """
+        from repro.transfers import DeadlineTransfer, TransferPlanner
+
+        if release is None:
+            release = int(self.executor.clock.now())
+        request = DeadlineTransfer(
+            crossings=tuple(crossings),
+            bytes_total=bytes_total,
+            release=release,
+            deadline=deadline,
+            budget_mist=budget_mist,
+            max_rate_kbps=max_rate_kbps,
+        )
+        plan = TransferPlanner(self.indexer(marketplace)).plan(
+            request, best_effort=best_effort
+        )
+        return self.execute_transfer_plan(marketplace, plan, preflight=preflight)
+
+    def execute_transfer_plan(self, marketplace: str, plan, *, preflight: bool = True):
+        """Execute a planned transfer atomically; returns a
+        :class:`~repro.transfers.TransferOutcome`.
+
+        Command ordering is load-bearing: legs are submitted in
+        **descending start order** and each leg's pieces likewise,
+        because the market contract keeps the *head* time remainder of a
+        carve bound to the original listing id — so every earlier-window
+        purchase from the same listing stays valid later in the same
+        transaction.  Within a leg the per-direction pieces are then
+        fused earliest-first (``fuse_time`` keeps the first operand's
+        asset id) into one asset per direction, and each hop redeems
+        exactly once per leg.
+        """
+        from repro.transfers import TransferAborted, TransferOutcome
+
+        if self.payment_coin is None:
+            raise RuntimeError("fund() the client before buying")
+        if not plan.legs:
+            # A best-effort plan over an empty or exhausted book: nothing
+            # to buy, nothing to submit.
+            return TransferOutcome(plan=plan, submitted=None, price_mist=0)
+        if preflight:
+            self._preflight_transfer(marketplace, plan)
+        ephemeral = KeyPair.generate(self.rng)
+        self._ephemeral_keys.append(ephemeral)
+        public_key = ephemeral.public.to_bytes(256, "big")
+        commands: list[Command] = []
+        for leg in sorted(plan.legs, key=lambda leg: leg.start, reverse=True):
+            for hop in leg.hops:
+                fused: dict[bool, Result] = {}
+                for is_ingress, pieces in (
+                    (True, hop.ingress_pieces),
+                    (False, hop.egress_pieces),
+                ):
+                    base = len(commands)
+                    for piece in reversed(pieces):  # descending start
+                        commands.append(
+                            Command(
+                                "market",
+                                "buy",
+                                {
+                                    "marketplace": marketplace,
+                                    "listing": piece.listing_id,
+                                    "start": piece.start,
+                                    "expiry": piece.expiry,
+                                    "bandwidth_kbps": leg.rate_kbps,
+                                    "payment": self.payment_coin,
+                                },
+                            )
+                        )
+                    # Buy results, re-ordered earliest piece first.
+                    assets = [
+                        Result(base + i, "asset")
+                        for i in reversed(range(len(pieces)))
+                    ]
+                    while len(assets) > 1:
+                        first, second = assets[0], assets[1]
+                        commands.append(
+                            Command(
+                                "asset",
+                                "fuse_time",
+                                {"first": first, "second": second},
+                            )
+                        )
+                        assets[:2] = [Result(len(commands) - 1, "asset")]
+                    fused[is_ingress] = assets[0]
+                commands.append(
+                    Command(
+                        "asset",
+                        "redeem",
+                        {
+                            "ingress": fused[True],
+                            "egress": fused[False],
+                            "public_key": public_key,
+                        },
+                    )
+                )
+        submitted = self.executor.submit(
+            Transaction(sender=self.account.address, commands=commands)
+        )
+        trace = current_trace()
+        if trace is not None:
+            trace.event(
+                "transfer.submitted",
+                legs=len(plan.legs),
+                buys=plan.buy_count,
+                redeems=plan.redeem_count,
+                bytes=plan.bytes_scheduled,
+                price_mist=plan.spend_mist,
+                status=submitted.effects.status,
+            )
+        if not submitted.effects.ok:
+            raise TransferAborted(
+                f"transfer transaction aborted ({submitted.effects.status}); "
+                "the ledger rolled back every buy, fuse, and redeem",
+                submitted=submitted,
+            )
+        return TransferOutcome(
+            plan=plan, submitted=submitted, price_mist=plan.spend_mist
+        )
+
+    def _preflight_transfer(self, marketplace: str, plan) -> None:
+        """Client-side liveness check: every planned piece must still be
+        coverable at its exact window and rate, or we abort without
+        submitting (no transaction, no gas)."""
+        from repro.transfers import TransferAborted
+
+        indexer = self.indexer(marketplace)
+        indexer.sync()
+        for leg in plan.legs:
+            for hop in leg.hops:
+                for piece in hop.ingress_pieces + hop.egress_pieces:
+                    record = indexer.listing(piece.listing_id)
+                    if (
+                        record is None
+                        or record.align(piece.start, piece.expiry)
+                        != (piece.start, piece.expiry)
+                        or not record.sellable(leg.rate_kbps)
+                    ):
+                        raise TransferAborted(
+                            f"listing {piece.listing_id} no longer covers "
+                            f"[{piece.start},{piece.expiry}) at "
+                            f"{leg.rate_kbps}kbps; transfer not submitted",
+                            submitted=None,
+                        )
+
     # -- delivery ------------------------------------------------------------------
 
     def collect_reservations(self) -> list[FlyoverReservation]:

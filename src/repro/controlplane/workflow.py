@@ -392,6 +392,49 @@ def purchase_path(
     )
 
 
+def execute_transfer(
+    deployment: MarketDeployment,
+    host: HostClient,
+    crossings: list[AsCrossing],
+    bytes_total: int,
+    deadline: int,
+    *,
+    release: int | None = None,
+    budget_mist: int | None = None,
+    max_rate_kbps: int | None = None,
+    best_effort: bool = False,
+    preflight: bool = True,
+):
+    """Run one deadline transfer end-to-end: plan, buy+fuse+redeem
+    atomically, then have every on-path AS deliver its reservations.
+
+    Returns the :class:`~repro.transfers.TransferOutcome` with
+    ``reservations`` filled in — one per hop per leg, already decrypted.
+    Raises whatever :meth:`HostClient.transfer` raises (see its failure
+    matrix); a raise means no reservation was created anywhere.
+    """
+    outcome = host.transfer(
+        deployment.marketplace,
+        crossings,
+        bytes_total,
+        deadline,
+        release=release,
+        budget_mist=budget_mist,
+        max_rate_kbps=max_rate_kbps,
+        best_effort=best_effort,
+        preflight=preflight,
+    )
+    if outcome.submitted is None:  # empty best-effort plan, nothing redeemed
+        return outcome
+    for crossing in crossings:
+        service = deployment.service(crossing.isd_as)
+        records = service.poll_and_deliver()
+        if not records:
+            raise RuntimeError(f"AS {crossing.isd_as} found no redeem request")
+    outcome.reservations = host.collect_reservations()
+    return outcome
+
+
 @dataclass
 class PathAuctionHandle:
     """One open combinatorial path auction and who contributed its legs.

@@ -197,9 +197,18 @@ class PurchasePlanner:
     def quote(self, spec: PathSpec) -> list[PathQuote]:
         """Every distinct priced way to cover the spec, cheapest first.
 
-        Candidate start offsets step through the flex range at the finest
-        granularity listed on the involved interfaces (coarser steps would
-        skip sellable windows, finer ones only repeat them); quotes that
+        Candidate start offsets are the *breakpoints* of the flex range:
+        every hop resolution is piecewise constant in the offset — it can
+        only change where the shifted window's start or expiry crosses
+        some involved listing's granule lattice — so the planner
+        enumerates exactly those lattice crossings (plus the range
+        endpoints) instead of stepping linearly through the range.  This
+        skips constant-price plateaus outright and lands on valley edges
+        exactly: congruence arithmetic gives each listing's crossings in
+        closed form, subsuming a per-valley binary search.  It is also
+        *more complete* than the historical finest-granularity linear
+        scan, which silently skipped windows of listings whose lattice
+        anchor was shifted relative to the spec's start.  Quotes that
         resolve to identical listings and windows are deduplicated.
 
         Args:
@@ -218,10 +227,7 @@ class PurchasePlanner:
                 aligned window at any offset.
         """
         self.indexer.sync()
-        step = self._flex_step(spec)
-        offsets = list(range(0, spec.flex_start + 1, step))
-        if spec.flex_start and spec.flex_start not in offsets:
-            offsets.append(spec.flex_start)
+        offsets = self._flex_offsets(spec)
         quotes: list[PathQuote] = []
         seen: set[tuple] = set()
         first_error: ListingNotFound | None = None
@@ -287,22 +293,49 @@ class PurchasePlanner:
             )
         return cheapest
 
-    def _flex_step(self, spec: PathSpec) -> int:
-        granularities = self._granularities(spec)
-        if granularities:
-            return min(granularities)
-        return max(spec.flex_start, 1)
+    def _flex_offsets(self, spec: PathSpec) -> list[int]:
+        """Offsets at which some hop resolution can change, sorted.
 
-    def _granularities(self, spec: PathSpec) -> set[int]:
-        granularities: set[int] = set()
+        Every quantity :meth:`resolve_hop` computes at offset ``o`` is a
+        function of where ``spec.start + o`` and ``spec.expiry + o`` sit
+        on each involved listing's granule lattice (aligned windows are
+        floors/ceils on that lattice; coverage and joint-window outcomes
+        flip only when those aligned values move).  Between two
+        consecutive crossings of *any* involved lattice nothing changes,
+        so enumerating the crossings — offsets congruent to
+        ``listing.start - edge (mod granularity)`` for both window edges
+        — plus the endpoints {0, flex_start} visits one representative of
+        every constant piece an exhaustive step-1 scan would see.  Joint
+        pair lattices need no extra points: their crossings (step = lcm,
+        CRT anchor) are a subset of each member's own crossings.
+        """
+        flex = spec.flex_start
+        offsets = {0, flex}
+        for listing in self._involved_listings(spec):
+            g = listing.granularity
+            for edge in (spec.start, spec.expiry):
+                first = (listing.start - edge) % g
+                offsets.update(range(first, flex + 1, g))
+        return sorted(offsets)
+
+    def _involved_listings(self, spec: PathSpec) -> list:
+        """Live listings on the spec's interfaces that any offset in the
+        flex range could touch."""
+        keys = set()
         for crossing in spec.crossings:
-            granularities |= self.indexer.granularities(
-                crossing.isd_as, crossing.ingress, True
+            keys.add(
+                (crossing.isd_as.isd, crossing.isd_as.asn, crossing.ingress, True)
             )
-            granularities |= self.indexer.granularities(
-                crossing.isd_as, crossing.egress, False
+            keys.add(
+                (crossing.isd_as.isd, crossing.isd_as.asn, crossing.egress, False)
             )
-        return granularities
+        return [
+            listing
+            for listing in self.indexer.listings()
+            if listing.key in keys
+            and listing.start < spec.expiry + spec.flex_start
+            and listing.expiry > spec.start
+        ]
 
 
 def _at_window(listing, bandwidth_kbps: int, window: tuple[int, int]) -> Candidate:

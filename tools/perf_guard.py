@@ -22,6 +22,14 @@ Guarded rows:
   (``bench_admission.py``);
 * ``path_admission_admit_ab`` at 2 hops, sharded — full path-wide
   screen/commit/rollback cycles (``bench_path_admission.py``).
+
+Besides the A/B overhead rows, ``FLOOR_TARGETS`` enforces absolute
+throughput floors: the named row of a plain ``--smoke --json`` run must
+report ``ops_per_sec`` at or above the floor (no paired design — these
+floors carry enough headroom to absorb shared-runner noise).
+
+* ``transfer_plan`` — full deadline-transfer plans per second over the
+  synthetic staggered book (``bench_transfers.py``).
 """
 
 from __future__ import annotations
@@ -47,12 +55,18 @@ TARGETS = [
     ),
 ]
 
+# (bench script, row name, params the row must match, ops/sec floor)
+FLOOR_TARGETS = [
+    ("bench_transfers.py", "transfer_plan", {}, 40.0),
+]
+
 
 def _run_once(
     bench: pathlib.Path,
     row_name: str,
     params_match: dict,
     extra_args: list[str],
+    mode_args: tuple[str, ...] = ("--smoke", "--ab-overhead"),
 ) -> dict:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
@@ -63,8 +77,7 @@ def _run_once(
             [
                 sys.executable,
                 str(bench),
-                "--smoke",
-                "--ab-overhead",
+                *mode_args,
                 "--json",
                 str(out),
                 *extra_args,
@@ -84,7 +97,7 @@ def _run_once(
         return row
     raise SystemExit(
         f"row {row_name!r} matching {params_match} missing from {bench} "
-        "--ab-overhead --json output"
+        f"{' '.join(mode_args)} --json output"
     )
 
 
@@ -120,6 +133,29 @@ def main(argv: list[str] | None = None) -> int:
               f"(bar {args.threshold:.0%})")
         if overhead > args.threshold:
             print(f"FAIL: telemetry overhead exceeds the bar on {row_name}",
+                  file=sys.stderr)
+            failed = True
+        else:
+            print("OK")
+
+    for bench_name, row_name, params_match, floor in FLOOR_TARGETS:
+        bench = REPO_ROOT / "benchmarks" / bench_name
+        print(f"== {row_name} floor ({bench_name})")
+        rates = []
+        for _ in range(args.repeats):
+            row = _run_once(
+                bench,
+                row_name,
+                params_match,
+                ["--no-floor"],
+                mode_args=("--smoke",),
+            )
+            rates.append(row["ops_per_sec"])
+            print(f"run: {row['ops_per_sec']:,.1f} ops/s")
+        rate = statistics.median(rates)
+        print(f"median: {rate:,.1f} ops/s (floor {floor:,.1f})")
+        if rate < floor:
+            print(f"FAIL: {row_name} is below its throughput floor",
                   file=sys.stderr)
             failed = True
         else:
